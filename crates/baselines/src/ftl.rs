@@ -1,0 +1,330 @@
+//! A fused two-level (global + local) adder-tree predictor — stand-in for
+//! FTL++ (Ishii et al., 3rd CBP), ranked 2nd at the championship (§6.3).
+//!
+//! FTL++ fuses a global-history GEHL with a local-history GEHL in a single
+//! adder tree ("revisiting local history for improving fused two-level
+//! branch predictor"). This stand-in keeps exactly that structure: global
+//! tables indexed with geometric global histories plus local tables indexed
+//! with per-branch local history, summed together and trained with a shared
+//! adaptive threshold. See DESIGN.md §1 for the substitution rationale.
+
+use crate::geometric_series;
+use simkit::counter::SignedCounter;
+use simkit::history::{FoldedHistory, GlobalHistory, LocalHistories, PathHistory};
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+use simkit::threshold::AdaptiveThreshold;
+
+/// Maximum total table count (fixed-size snapshots).
+pub const MAX_TABLES: usize = 20;
+
+/// FTL-style fused two-level predictor configuration.
+#[derive(Clone, Debug)]
+pub struct FtlConfig {
+    /// Global tables (first is PC-indexed).
+    pub global_tables: usize,
+    /// log2 entries per global table.
+    pub global_index_bits: u32,
+    /// Longest global history.
+    pub global_lmax: usize,
+    /// Local tables.
+    pub local_tables: usize,
+    /// log2 entries per local table.
+    pub local_index_bits: u32,
+    /// Local history length.
+    pub local_hist: u32,
+    /// log2 entries of the local history table.
+    pub lht_bits: u32,
+}
+
+impl FtlConfig {
+    /// A ~512 Kbit-class configuration comparable to the CBP-3 entry.
+    pub fn cbp_512k() -> Self {
+        Self {
+            global_tables: 9,
+            global_index_bits: 13,
+            global_lmax: 1000,
+            local_tables: 4,
+            local_index_bits: 12,
+            local_hist: 16,
+            lht_bits: 10,
+        }
+    }
+}
+
+/// The fused two-level predictor.
+#[derive(Clone, Debug)]
+pub struct Ftl {
+    cfg: FtlConfig,
+    global: Vec<Vec<SignedCounter>>,
+    local: Vec<Vec<SignedCounter>>,
+    glengths: Vec<usize>,
+    llengths: Vec<u32>,
+    folded: Vec<FoldedHistory>,
+    ghist: GlobalHistory,
+    lhist: LocalHistories,
+    path: PathHistory,
+    threshold: AdaptiveThreshold,
+    stats: AccessStats,
+}
+
+/// In-flight snapshot for [`Ftl`].
+#[derive(Clone, Copy, Debug)]
+pub struct FtlFlight {
+    gidx: [u32; MAX_TABLES],
+    gctr: [i16; MAX_TABLES],
+    lidx: [u32; MAX_TABLES],
+    lctr: [i16; MAX_TABLES],
+    sum: i32,
+}
+
+impl Ftl {
+    /// Builds the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table counts exceed [`MAX_TABLES`].
+    pub fn new(cfg: FtlConfig) -> Self {
+        assert!(cfg.global_tables >= 3 && cfg.global_tables <= MAX_TABLES);
+        assert!(cfg.local_tables >= 1 && cfg.local_tables <= MAX_TABLES);
+        let mut glengths = vec![0usize];
+        glengths.extend(geometric_series(cfg.global_tables - 1, 4, cfg.global_lmax));
+        let folded = glengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l.max(1), cfg.global_index_bits))
+            .collect();
+        // Local history lengths: 0 (bias), then geometric up to local_hist.
+        let mut llengths = vec![0u32];
+        if cfg.local_tables > 1 {
+            llengths.extend(
+                geometric_series(cfg.local_tables - 1, 4, cfg.local_hist as usize)
+                    .into_iter()
+                    .map(|l| l as u32),
+            );
+        }
+        Self {
+            global: vec![
+                vec![SignedCounter::new(5); 1 << cfg.global_index_bits];
+                cfg.global_tables
+            ],
+            local: vec![vec![SignedCounter::new(5); 1 << cfg.local_index_bits]; cfg.local_tables],
+            glengths,
+            llengths,
+            folded,
+            ghist: GlobalHistory::new(),
+            lhist: LocalHistories::new(1 << cfg.lht_bits, cfg.local_hist),
+            path: PathHistory::new(16),
+            threshold: AdaptiveThreshold::new((cfg.global_tables + cfg.local_tables) as i32, 1, 255),
+            cfg,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The ~512 Kbit-class CBP configuration.
+    pub fn cbp_512k() -> Self {
+        Self::new(FtlConfig::cbp_512k())
+    }
+
+    #[inline]
+    fn gindex(&self, t: usize, pc: u64) -> usize {
+        let m = (1usize << self.cfg.global_index_bits) - 1;
+        let pc = pc >> 2;
+        if self.glengths[t] == 0 {
+            (pc as usize ^ (pc >> 13) as usize) & m
+        } else {
+            (pc ^ (pc >> 7) ^ self.folded[t].value() ^ (self.path.value() >> (t as u64 % 3)))
+                as usize
+                & m
+        }
+    }
+
+    #[inline]
+    fn lindex(&self, t: usize, pc: u64, lhist: u64) -> usize {
+        let m = (1usize << self.cfg.local_index_bits) - 1;
+        let len = self.llengths[t];
+        let h = lhist & simkit::bits::mask(len.max(1));
+        ((pc >> 2) ^ h.wrapping_mul(0x9E37_79B9) ^ (h >> 5)) as usize & m
+    }
+}
+
+impl Predictor for Ftl {
+    type Flight = FtlFlight;
+
+    fn name(&self) -> String {
+        format!("ftl-{}g{}l", self.cfg.global_tables, self.cfg.local_tables)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let g = self.cfg.global_tables as u64 * (1u64 << self.cfg.global_index_bits) * 5;
+        let l = self.cfg.local_tables as u64 * (1u64 << self.cfg.local_index_bits) * 5;
+        g + l + self.lhist.storage_bits()
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, FtlFlight) {
+        self.stats.predict_reads += 1;
+        let mut flight = FtlFlight {
+            gidx: [0; MAX_TABLES],
+            gctr: [0; MAX_TABLES],
+            lidx: [0; MAX_TABLES],
+            lctr: [0; MAX_TABLES],
+            sum: 0,
+        };
+        for t in 0..self.cfg.global_tables {
+            let idx = self.gindex(t, b.pc);
+            let c = self.global[t][idx];
+            flight.gidx[t] = idx as u32;
+            flight.gctr[t] = c.get();
+            flight.sum += c.centered();
+        }
+        let lh = self.lhist.history(b.pc);
+        for t in 0..self.cfg.local_tables {
+            let idx = self.lindex(t, b.pc, lh);
+            let c = self.local[t][idx];
+            flight.lidx[t] = idx as u32;
+            flight.lctr[t] = c.get();
+            flight.sum += c.centered();
+        }
+        (flight.sum >= 0, flight)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, _flight: &mut FtlFlight) {
+        self.ghist.push(outcome);
+        for f in &mut self.folded {
+            f.update(&self.ghist);
+        }
+        self.path.push(b.pc);
+        // Speculative local history with the resolved outcome (repaired on
+        // mispredictions, so exact on the correct path).
+        self.lhist.update(b.pc, outcome);
+    }
+
+    fn retire(
+        &mut self,
+        _b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: FtlFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        if scenario.counts_retire_read(mispredicted) {
+            self.stats.retire_reads += 1;
+        }
+        let low_conf = flight.sum.abs() <= self.threshold.value();
+        self.threshold.on_event(mispredicted, low_conf);
+        if !(mispredicted || low_conf) {
+            return;
+        }
+        let reread = scenario.reread_at_retire(mispredicted);
+        for t in 0..self.cfg.global_tables {
+            let idx = flight.gidx[t] as usize;
+            let mut c = if reread {
+                self.global[t][idx]
+            } else {
+                SignedCounter::with_value(5, flight.gctr[t])
+            };
+            c.update(outcome);
+            let changed = self.global[t][idx] != c;
+            if self.stats.record_write(changed) {
+                self.global[t][idx] = c;
+            }
+        }
+        for t in 0..self.cfg.local_tables {
+            let idx = flight.lidx[t] as usize;
+            let mut c = if reread {
+                self.local[t][idx]
+            } else {
+                SignedCounter::with_value(5, flight.lctr[t])
+            };
+            c.update(outcome);
+            let changed = self.local[t][idx] != c;
+            if self.stats.record_write(changed) {
+                self.local[t][idx] = c;
+            }
+        }
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        self.path.push(b.pc);
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ftl {
+        Ftl::new(FtlConfig {
+            global_tables: 5,
+            global_index_bits: 10,
+            global_lmax: 64,
+            local_tables: 3,
+            local_index_bits: 10,
+            local_hist: 12,
+            lht_bits: 6,
+        })
+    }
+
+    fn drive(p: &mut Ftl, pc: u64, outcome: bool) -> bool {
+        let b = BranchInfo::conditional(pc);
+        let (pred, mut f) = p.predict(&b);
+        p.fetch_commit(&b, outcome, &mut f);
+        p.retire(&b, outcome, pred, f, UpdateScenario::Immediate);
+        pred
+    }
+
+    #[test]
+    fn learns_bias() {
+        let mut p = small();
+        let mut wrong = 0;
+        for i in 0..1000 {
+            if drive(&mut p, 0x400, true) != true && i > 200 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 10, "wrong={wrong}");
+    }
+
+    #[test]
+    fn learns_local_pattern_through_global_noise() {
+        // Period-7 pattern on one branch, interleaved with random branches:
+        // the local component captures it.
+        let pattern = [true, true, false, true, false, false, true];
+        let mut p = small();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(4);
+        let (mut wrong, mut total) = (0, 0);
+        for i in 0..20_000 {
+            drive(&mut p, 0x100, rng.gen_bool(0.5));
+            drive(&mut p, 0x140, rng.gen_bool(0.5));
+            let out = pattern[i % 7];
+            let got = drive(&mut p, 0x180, out);
+            if i > 10_000 {
+                total += 1;
+                if got != out {
+                    wrong += 1;
+                }
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.12, "local component should capture the pattern, rate={rate}");
+    }
+
+    #[test]
+    fn storage_in_512k_class() {
+        let bits = Ftl::cbp_512k().storage_bits();
+        assert!((400_000..600_000).contains(&bits), "bits={bits}");
+    }
+
+    #[test]
+    fn name_shows_structure() {
+        assert_eq!(Ftl::cbp_512k().name(), "ftl-9g4l");
+    }
+}

@@ -1,0 +1,310 @@
+//! The GEHL (GEometric History Length) adder-tree predictor — the paper's
+//! "neural inspired" representative (§4.1.1: 520 Kbit, 13 tables of 8K
+//! 5-bit counters, (6,2000) geometric history lengths).
+//!
+//! Prediction is the sign of the sum of centered counters read from tables
+//! indexed with geometrically increasing history lengths; training is
+//! threshold-based (update on misprediction or low |sum|) with a
+//! dynamically adapted threshold.
+//!
+//! Because *13 counters* participate in every prediction and update, GEHL
+//! is much more sensitive than TAGE to computing updates from stale
+//! fetch-time values (scenarios \[B\]/\[C\] in §4.1.2).
+
+use crate::geometric_series;
+use simkit::counter::SignedCounter;
+use simkit::history::{FoldedHistory, GlobalHistory, PathHistory};
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+use simkit::threshold::AdaptiveThreshold;
+
+/// Upper bound on table count (fixed-size in-flight snapshots).
+pub const MAX_TABLES: usize = 16;
+
+/// GEHL configuration.
+#[derive(Clone, Debug)]
+pub struct GehlConfig {
+    /// Number of tables (first is PC-indexed, history length 0).
+    pub tables: usize,
+    /// log2 of entries per table.
+    pub index_bits: u32,
+    /// Counter width in bits.
+    pub ctr_bits: u8,
+    /// Shortest non-zero history length.
+    pub l1: usize,
+    /// Longest history length.
+    pub lmax: usize,
+}
+
+impl GehlConfig {
+    /// The paper's 520 Kbit configuration (§4.1.1).
+    pub fn cbp_520k() -> Self {
+        Self { tables: 13, index_bits: 13, ctr_bits: 5, l1: 6, lmax: 2000 }
+    }
+}
+
+/// A GEHL predictor.
+#[derive(Clone, Debug)]
+pub struct Gehl {
+    tables: Vec<Vec<SignedCounter>>,
+    cfg: GehlConfig,
+    lengths: Vec<usize>,
+    folded: Vec<FoldedHistory>,
+    ghist: GlobalHistory,
+    path: PathHistory,
+    threshold: AdaptiveThreshold,
+    stats: AccessStats,
+}
+
+/// In-flight snapshot for [`Gehl`]: indices, counter values and the sum
+/// computed at fetch.
+#[derive(Clone, Copy, Debug)]
+pub struct GehlFlight {
+    indices: [u32; MAX_TABLES],
+    ctrs: [i16; MAX_TABLES],
+    sum: i32,
+}
+
+impl Gehl {
+    /// Builds a GEHL predictor from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration exceeds [`MAX_TABLES`] tables or has
+    /// fewer than 3.
+    pub fn new(cfg: GehlConfig) -> Self {
+        assert!((3..=MAX_TABLES).contains(&cfg.tables), "GEHL table count out of range");
+        // Table 0 is PC-indexed (length 0); tables 1.. use the geometric series.
+        let mut lengths = vec![0usize];
+        lengths.extend(geometric_series(cfg.tables - 1, cfg.l1, cfg.lmax));
+        let folded = lengths
+            .iter()
+            .map(|&l| FoldedHistory::new(l.max(1), cfg.index_bits))
+            .collect();
+        let entries = 1usize << cfg.index_bits;
+        Self {
+            tables: vec![vec![SignedCounter::new(cfg.ctr_bits); entries]; cfg.tables],
+            lengths,
+            folded,
+            ghist: GlobalHistory::new(),
+            path: PathHistory::new(16),
+            threshold: AdaptiveThreshold::new(cfg.tables as i32, 1, 6 * cfg.tables as i32),
+            cfg,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The paper's 520 Kbit GEHL.
+    pub fn cbp_520k() -> Self {
+        Self::new(GehlConfig::cbp_520k())
+    }
+
+    /// History lengths in use (first is 0 = PC-indexed).
+    pub fn lengths(&self) -> &[usize] {
+        &self.lengths
+    }
+
+    #[inline]
+    fn index(&self, table: usize, pc: u64) -> usize {
+        let m = (1usize << self.cfg.index_bits) - 1;
+        let pc = pc >> 2;
+        if self.lengths[table] == 0 {
+            (pc as usize ^ (pc >> self.cfg.index_bits as u64) as usize) & m
+        } else {
+            let h = self.folded[table].value();
+            let p = self.path.value() & 0x3FF;
+            (pc ^ (pc >> (self.cfg.index_bits as u64 - (table as u64 % 4)))
+                ^ h
+                ^ (p >> (table as u64 % 5))) as usize
+                & m
+        }
+    }
+}
+
+impl Predictor for Gehl {
+    type Flight = GehlFlight;
+
+    fn name(&self) -> String {
+        format!(
+            "gehl-{}t-{}Kbit",
+            self.cfg.tables,
+            (self.storage_bits() + 512) / 1024
+        )
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.cfg.tables as u64 * (1u64 << self.cfg.index_bits) * u64::from(self.cfg.ctr_bits)
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, GehlFlight) {
+        self.stats.predict_reads += 1;
+        let mut flight = GehlFlight { indices: [0; MAX_TABLES], ctrs: [0; MAX_TABLES], sum: 0 };
+        for t in 0..self.cfg.tables {
+            let idx = self.index(t, b.pc);
+            let c = self.tables[t][idx];
+            flight.indices[t] = idx as u32;
+            flight.ctrs[t] = c.get();
+            flight.sum += c.centered();
+        }
+        (flight.sum >= 0, flight)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, _flight: &mut GehlFlight) {
+        self.ghist.push(outcome);
+        for f in &mut self.folded {
+            f.update(&self.ghist);
+        }
+        self.path.push(b.pc);
+    }
+
+    fn retire(
+        &mut self,
+        _b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: GehlFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        if scenario.counts_retire_read(mispredicted) {
+            self.stats.retire_reads += 1;
+        }
+        let reread = scenario.reread_at_retire(mispredicted);
+        // The update decision uses the fetch-time sum (it is the prediction
+        // confidence the hardware carried with the branch).
+        let low_conf = flight.sum.abs() <= self.threshold.value();
+        let train = mispredicted || low_conf;
+        self.threshold.on_event(mispredicted, low_conf);
+        if !train {
+            return;
+        }
+        for t in 0..self.cfg.tables {
+            let idx = flight.indices[t] as usize;
+            let mut c = if reread {
+                self.tables[t][idx]
+            } else {
+                SignedCounter::with_value(self.cfg.ctr_bits, flight.ctrs[t])
+            };
+            c.update(outcome);
+            let changed = self.tables[t][idx] != c;
+            if self.stats.record_write(changed) {
+                self.tables[t][idx] = c;
+            }
+        }
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        self.path.push(b.pc);
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Gehl {
+        Gehl::new(GehlConfig { tables: 6, index_bits: 10, ctr_bits: 5, l1: 4, lmax: 64 })
+    }
+
+    fn drive(p: &mut Gehl, pc: u64, outcome: bool) -> bool {
+        let b = BranchInfo::conditional(pc);
+        let (pred, mut f) = p.predict(&b);
+        p.fetch_commit(&b, outcome, &mut f);
+        p.retire(&b, outcome, pred, f, UpdateScenario::Immediate);
+        pred
+    }
+
+    #[test]
+    fn learns_bias() {
+        let mut p = small();
+        let mut wrong = 0;
+        for i in 0..2000 {
+            if drive(&mut p, 0x400, true) != true && i > 100 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 10, "wrong={wrong}");
+    }
+
+    #[test]
+    fn learns_sparse_correlation_through_noise() {
+        // Outcome of target = outcome of the branch 4 back; two random
+        // branches in between. The adder tree learns the single relevant
+        // weight position despite the noise — the neural-family signature.
+        let mut p = small();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(3);
+        let mut ring = std::collections::VecDeque::from(vec![false; 8]);
+        let mut wrong = 0;
+        let mut total = 0;
+        for i in 0..6000 {
+            // Source + noise branches.
+            for (pc, _) in [(0x100u64, 0), (0x140, 1), (0x180, 2)] {
+                let o = rng.gen_bool(0.5);
+                drive(&mut p, pc, o);
+                ring.push_front(o);
+                ring.pop_back();
+            }
+            let target = ring[2]; // 3 branches ago within the group
+            let got = drive(&mut p, 0x1C0, target);
+            if i > 2000 {
+                total += 1;
+                if got != target {
+                    wrong += 1;
+                }
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.10, "GEHL should learn sparse correlation, rate={rate}");
+    }
+
+    #[test]
+    fn storage_matches_paper_520k() {
+        assert_eq!(Gehl::cbp_520k().storage_bits(), 532_480); // 520 Kbit
+    }
+
+    #[test]
+    fn lengths_start_zero_and_grow() {
+        let p = Gehl::cbp_520k();
+        assert_eq!(p.lengths()[0], 0);
+        assert_eq!(p.lengths()[1], 6);
+        assert_eq!(*p.lengths().last().unwrap(), 2000);
+    }
+
+    #[test]
+    fn scenario_b_updates_from_snapshot() {
+        let mut p = small();
+        let b = BranchInfo::conditional(0x240);
+        // Two in-flight predictions from the same (initial) state.
+        let (pred1, mut f1) = p.predict(&b);
+        let (_, f2_pre) = p.predict(&b);
+        p.fetch_commit(&b, true, &mut f1);
+        // Retire both under [B]: second update reuses the stale snapshot.
+        p.retire(&b, true, pred1, f1, UpdateScenario::FetchOnly);
+        p.retire(&b, true, pred1, f2_pre, UpdateScenario::FetchOnly);
+        // Every counter involved advanced at most one step from 0.
+        let (_, f3) = p.predict(&b);
+        for t in 0..6 {
+            assert!(f3.ctrs[t] <= 1, "counter advanced twice under [B]");
+        }
+    }
+
+    #[test]
+    fn threshold_moves_under_pressure() {
+        let mut p = small();
+        let before = p.threshold.value();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(9);
+        for _ in 0..20_000 {
+            drive(&mut p, 0x300, rng.gen_bool(0.5));
+        }
+        // Random outcomes = constant mispredictions → threshold rises.
+        assert!(p.threshold.value() > before);
+    }
+}

@@ -1,0 +1,219 @@
+//! The original global-history perceptron predictor (Jiménez & Lin,
+//! HPCA 2001) — ancestor of the "neural inspired" family the paper
+//! benchmarks against (§1, §4.1.1).
+
+use simkit::counter::SignedCounter;
+use simkit::history::GlobalHistory;
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+
+/// Maximum supported history length (fixed-size snapshots).
+pub const MAX_HIST: usize = 64;
+
+/// A perceptron predictor: `rows` perceptrons of `hist + 1` signed
+/// 8-bit weights over `hist` global history bits.
+#[derive(Clone, Debug)]
+pub struct Perceptron {
+    weights: Vec<Vec<SignedCounter>>,
+    rows: usize,
+    hist: usize,
+    theta: i32,
+    ghist: GlobalHistory,
+    stats: AccessStats,
+}
+
+/// In-flight snapshot for [`Perceptron`].
+#[derive(Clone, Copy, Debug)]
+pub struct PerceptronFlight {
+    row: usize,
+    /// History bits sampled at fetch (bit i = outcome of branch i+1 ago).
+    xs: u64,
+    /// Weights read at fetch (w\[0\] is the bias weight).
+    ws: [i16; MAX_HIST + 1],
+    y: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is not a power of two or `hist` exceeds
+    /// [`MAX_HIST`].
+    pub fn new(rows: usize, hist: usize) -> Self {
+        assert!(rows.is_power_of_two(), "perceptron rows must be a power of two");
+        assert!((1..=MAX_HIST).contains(&hist), "history length {hist} out of range");
+        // Training threshold from the original paper: θ = ⌊1.93h + 14⌋.
+        let theta = (1.93 * hist as f64 + 14.0).floor() as i32;
+        Self {
+            weights: vec![vec![SignedCounter::new(8); hist + 1]; rows],
+            rows,
+            hist,
+            theta,
+            ghist: GlobalHistory::new(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    #[inline]
+    fn row(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize ^ (pc >> 14) as usize) & (self.rows - 1)
+    }
+}
+
+impl Predictor for Perceptron {
+    type Flight = PerceptronFlight;
+
+    fn name(&self) -> String {
+        format!("perceptron-{}x{}h", self.rows, self.hist)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.rows as u64 * (self.hist as u64 + 1) * 8
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, PerceptronFlight) {
+        self.stats.predict_reads += 1;
+        let row = self.row(b.pc);
+        let mut ws = [0i16; MAX_HIST + 1];
+        let mut xs = 0u64;
+        let mut y = i32::from(self.weights[row][0].get());
+        for i in 0..self.hist {
+            let bit = self.ghist.bit(i) == 1;
+            if bit {
+                xs |= 1 << i;
+            }
+            let w = self.weights[row][i + 1].get();
+            ws[i + 1] = w;
+            y += if bit { i32::from(w) } else { -i32::from(w) };
+        }
+        ws[0] = self.weights[row][0].get();
+        (y >= 0, PerceptronFlight { row, xs, ws, y })
+    }
+
+    fn fetch_commit(&mut self, _b: &BranchInfo, outcome: bool, _flight: &mut PerceptronFlight) {
+        self.ghist.push(outcome);
+    }
+
+    fn retire(
+        &mut self,
+        _b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: PerceptronFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        if scenario.counts_retire_read(mispredicted) {
+            self.stats.retire_reads += 1;
+        }
+        if !(mispredicted || flight.y.abs() <= self.theta) {
+            return;
+        }
+        let reread = scenario.reread_at_retire(mispredicted);
+        for i in 0..=self.hist {
+            let agree = if i == 0 { outcome } else { outcome == ((flight.xs >> (i - 1)) & 1 == 1) };
+            let mut w = if reread {
+                self.weights[flight.row][i]
+            } else {
+                SignedCounter::with_value(8, flight.ws[i])
+            };
+            w.update(agree);
+            let changed = self.weights[flight.row][i] != w;
+            if self.stats.record_write(changed) {
+                self.weights[flight.row][i] = w;
+            }
+        }
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Perceptron, pc: u64, outcome: bool) -> bool {
+        let b = BranchInfo::conditional(pc);
+        let (pred, mut f) = p.predict(&b);
+        p.fetch_commit(&b, outcome, &mut f);
+        p.retire(&b, outcome, pred, f, UpdateScenario::Immediate);
+        pred
+    }
+
+    #[test]
+    fn learns_bias_through_bias_weight() {
+        let mut p = Perceptron::new(64, 16);
+        let mut wrong = 0;
+        for i in 0..500 {
+            if drive(&mut p, 0x400, false) && i > 50 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 5, "wrong={wrong}");
+    }
+
+    #[test]
+    fn learns_single_bit_correlation_in_noise() {
+        let mut p = Perceptron::new(64, 16);
+        let mut rng = simkit::rng::Xoshiro256::seed_from(5);
+        let mut last_src = false;
+        let mut wrong = 0;
+        let mut total = 0;
+        for i in 0..8000 {
+            let src = rng.gen_bool(0.5);
+            drive(&mut p, 0x100, src);
+            let noise = rng.gen_bool(0.5);
+            drive(&mut p, 0x140, noise);
+            let got = drive(&mut p, 0x180, last_src);
+            if i > 3000 {
+                total += 1;
+                if got != last_src {
+                    wrong += 1;
+                }
+            }
+            last_src = src;
+        }
+        // The correlated bit is at lag 2 relative to 0x180's fetch.
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.05, "perceptron should isolate the relevant bit, rate={rate}");
+    }
+
+    #[test]
+    fn parity_is_not_linearly_separable() {
+        // XOR of the last two outcomes cannot be learned by a single-layer
+        // perceptron — documents the known limitation (tables win here).
+        let mut p = Perceptron::new(64, 8);
+        let mut rng = simkit::rng::Xoshiro256::seed_from(6);
+        let (mut a, mut b) = (false, false);
+        let mut wrong = 0;
+        let mut total = 0;
+        for i in 0..8000 {
+            let target = a ^ b;
+            let got = drive(&mut p, 0x200, target);
+            if i > 4000 {
+                total += 1;
+                if got != target {
+                    wrong += 1;
+                }
+            }
+            a = b;
+            b = rng.gen_bool(0.5);
+            drive(&mut p, 0x240, b);
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate > 0.3, "parity should stay hard for a perceptron, rate={rate}");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = Perceptron::new(512, 32);
+        assert_eq!(p.storage_bits(), 512 * 33 * 8);
+    }
+}

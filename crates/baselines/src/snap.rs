@@ -1,0 +1,252 @@
+//! A scaled piecewise-linear neural predictor — stand-in for OH-SNAP
+//! (Jiménez, 3rd CBP), ranked 3rd at the championship (§6.3).
+//!
+//! OH-SNAP is an "optimized hybrid scaled neural analog predictor":
+//! piecewise-linear branch prediction with position-dependent weight
+//! scaling (emulating the analog summation of SNAP) and dynamic training
+//! thresholds. This stand-in keeps the algorithmic core — per-(branch,
+//! position, path) weights, inverse-linear position scaling, adaptive
+//! threshold training — in digital fixed-point arithmetic. See DESIGN.md
+//! §1 for the substitution rationale.
+
+use simkit::counter::SignedCounter;
+use simkit::history::{GlobalHistory, PathHistory};
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+use simkit::threshold::AdaptiveThreshold;
+
+/// Maximum history length supported (fixed-size snapshots).
+pub const MAX_HIST: usize = 64;
+
+/// Piecewise-linear predictor with scaled weights.
+#[derive(Clone, Debug)]
+pub struct Snap {
+    /// Weight cube: `[pc_rows][hist + 1][path_cols]` 7-bit weights.
+    weights: Vec<SignedCounter>,
+    pc_rows: usize,
+    path_cols: usize,
+    hist: usize,
+    /// Fixed-point (×256) inverse-linear position scaling coefficients.
+    coef: Vec<i32>,
+    ghist: GlobalHistory,
+    /// Path of recent branch PCs (low bits), for the piecewise dimension.
+    recent_pcs: Vec<u16>,
+    path: PathHistory,
+    threshold: AdaptiveThreshold,
+    stats: AccessStats,
+}
+
+/// In-flight snapshot for [`Snap`].
+#[derive(Clone, Copy, Debug)]
+pub struct SnapFlight {
+    /// Flattened weight indices touched at fetch.
+    idx: [u32; MAX_HIST + 1],
+    /// Weight values read at fetch.
+    ws: [i16; MAX_HIST + 1],
+    /// History bits at fetch.
+    xs: u64,
+    /// Scaled fetch-time sum (fixed point ×256).
+    y: i64,
+}
+
+impl Snap {
+    /// Creates a predictor with `pc_rows × (hist+1) × path_cols` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc_rows`/`path_cols` are not powers of two or `hist`
+    /// exceeds [`MAX_HIST`].
+    pub fn new(pc_rows: usize, hist: usize, path_cols: usize) -> Self {
+        assert!(pc_rows.is_power_of_two() && path_cols.is_power_of_two());
+        assert!((1..=MAX_HIST).contains(&hist));
+        let n = pc_rows * (hist + 1) * path_cols;
+        // SNAP-style inverse-linear scaling: positions closer to the branch
+        // weigh more. Fixed point ×256.
+        let coef = (0..=hist).map(|i| (256.0 / (1.0 + 0.06 * i as f64)) as i32).collect();
+        Self {
+            weights: vec![SignedCounter::new(7); n],
+            pc_rows,
+            path_cols,
+            hist,
+            coef,
+            ghist: GlobalHistory::new(),
+            recent_pcs: vec![0; MAX_HIST + 1],
+            path: PathHistory::new(16),
+            threshold: AdaptiveThreshold::new(64, 16, 1 << 14),
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// A ~512 Kbit-class configuration comparable to the CBP-3 entry.
+    pub fn cbp_512k() -> Self {
+        // 128 rows × 49 positions × 8 path columns × 7 bits ≈ 351 Kbit
+        // of weights plus histories — the same class as the 512 Kbit
+        // budget entries.
+        Self::new(128, 48, 8)
+    }
+
+    #[inline]
+    fn widx(&self, row: usize, pos: usize, col: usize) -> usize {
+        (row * (self.hist + 1) + pos) * self.path_cols + col
+    }
+
+    #[inline]
+    fn row(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize ^ (pc >> 11) as usize) & (self.pc_rows - 1)
+    }
+}
+
+impl Predictor for Snap {
+    type Flight = SnapFlight;
+
+    fn name(&self) -> String {
+        format!("snap-{}x{}x{}", self.pc_rows, self.hist, self.path_cols)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.weights.len() as u64 * 7 + (self.recent_pcs.len() as u64 * 16)
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, SnapFlight) {
+        self.stats.predict_reads += 1;
+        let row = self.row(b.pc);
+        let mut flight =
+            SnapFlight { idx: [0; MAX_HIST + 1], ws: [0; MAX_HIST + 1], xs: 0, y: 0 };
+        // Bias weight at position 0, column 0.
+        let bidx = self.widx(row, 0, 0);
+        let bw = self.weights[bidx].get();
+        flight.idx[0] = bidx as u32;
+        flight.ws[0] = bw;
+        flight.y = i64::from(bw) * i64::from(self.coef[0]);
+        for i in 0..self.hist {
+            let bit = self.ghist.bit(i) == 1;
+            if bit {
+                flight.xs |= 1 << i;
+            }
+            let col = (self.recent_pcs[i] as usize) & (self.path_cols - 1);
+            let idx = self.widx(row, i + 1, col);
+            let w = self.weights[idx].get();
+            flight.idx[i + 1] = idx as u32;
+            flight.ws[i + 1] = w;
+            let term = i64::from(w) * i64::from(self.coef[i + 1]);
+            flight.y += if bit { term } else { -term };
+        }
+        (flight.y >= 0, flight)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, _flight: &mut SnapFlight) {
+        self.ghist.push(outcome);
+        self.recent_pcs.rotate_right(1);
+        self.recent_pcs[0] = (b.pc >> 2) as u16;
+        self.path.push(b.pc);
+    }
+
+    fn retire(
+        &mut self,
+        _b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: SnapFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        if scenario.counts_retire_read(mispredicted) {
+            self.stats.retire_reads += 1;
+        }
+        let low_conf = flight.y.abs() <= i64::from(self.threshold.value()) * 256;
+        self.threshold.on_event(mispredicted, low_conf);
+        if !(mispredicted || low_conf) {
+            return;
+        }
+        let reread = scenario.reread_at_retire(mispredicted);
+        for i in 0..=self.hist {
+            let agree = if i == 0 { outcome } else { outcome == ((flight.xs >> (i - 1)) & 1 == 1) };
+            let idx = flight.idx[i] as usize;
+            let mut w = if reread {
+                self.weights[idx]
+            } else {
+                SignedCounter::with_value(7, flight.ws[i])
+            };
+            w.update(agree);
+            let changed = self.weights[idx] != w;
+            if self.stats.record_write(changed) {
+                self.weights[idx] = w;
+            }
+        }
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        self.recent_pcs.rotate_right(1);
+        self.recent_pcs[0] = (b.pc >> 2) as u16;
+        self.path.push(b.pc);
+    }
+
+    fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(p: &mut Snap, pc: u64, outcome: bool) -> bool {
+        let b = BranchInfo::conditional(pc);
+        let (pred, mut f) = p.predict(&b);
+        p.fetch_commit(&b, outcome, &mut f);
+        p.retire(&b, outcome, pred, f, UpdateScenario::Immediate);
+        pred
+    }
+
+    #[test]
+    fn learns_bias() {
+        let mut p = Snap::new(16, 16, 4);
+        let mut wrong = 0;
+        for i in 0..600 {
+            if drive(&mut p, 0x400, false) && i > 100 {
+                wrong += 1;
+            }
+        }
+        assert!(wrong < 10, "wrong={wrong}");
+    }
+
+    #[test]
+    fn learns_correlation_in_noise() {
+        let mut p = Snap::new(16, 16, 4);
+        let mut rng = simkit::rng::Xoshiro256::seed_from(8);
+        let mut last = false;
+        let (mut wrong, mut total) = (0, 0);
+        for i in 0..8000 {
+            let src = rng.gen_bool(0.5);
+            drive(&mut p, 0x100, src);
+            drive(&mut p, 0x140, rng.gen_bool(0.5));
+            let got = drive(&mut p, 0x180, last);
+            if i > 3000 {
+                total += 1;
+                if got != last {
+                    wrong += 1;
+                }
+            }
+            last = src;
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!(rate < 0.08, "snap should learn correlation, rate={rate}");
+    }
+
+    #[test]
+    fn storage_in_512k_class() {
+        let bits = Snap::cbp_512k().storage_bits();
+        assert!((200_000..600_000).contains(&bits), "bits={bits}");
+    }
+
+    #[test]
+    fn coefficients_decay_with_position() {
+        let p = Snap::new(16, 32, 4);
+        assert!(p.coef[0] > p.coef[16]);
+        assert!(p.coef[16] > p.coef[32]);
+    }
+}

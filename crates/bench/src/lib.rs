@@ -1,0 +1,37 @@
+//! Criterion benchmark support: shared fixtures for the `throughput` and
+//! `experiments` benches.
+//!
+//! * `benches/throughput.rs` — prediction-rate microbenchmarks of every
+//!   predictor (how fast the simulator itself runs);
+//! * `benches/experiments.rs` — one benchmark per paper table/figure,
+//!   running a scaled-down (Tiny) version of the experiment kernel so
+//!   `cargo bench` exercises every experiment code path.
+
+use pipeline::{simulate, PipelineConfig, SimReport};
+use simkit::predictor::{Predictor, UpdateScenario};
+use workloads::suite::{by_name, Scale};
+use workloads::Trace;
+
+/// A small fixed trace for microbenchmarks.
+pub fn bench_trace(name: &str) -> Trace {
+    by_name(name, Scale::Tiny).expect("known trace").generate()
+}
+
+/// Runs one predictor over one trace under one scenario (the benchmark
+/// kernel shared by all experiment benches).
+pub fn run_once<P: Predictor>(p: &mut P, trace: &Trace, scenario: UpdateScenario) -> SimReport {
+    simulate(p, trace, scenario, &PipelineConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let t = bench_trace("MM01");
+        let mut p = baselines::Gshare::new(12);
+        let r = run_once(&mut p, &t, UpdateScenario::RereadAtRetire);
+        assert_eq!(r.conditionals, t.conditional_count());
+    }
+}

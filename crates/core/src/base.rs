@@ -1,0 +1,171 @@
+//! The bimodal base predictor (component T0) with EV8-style shared
+//! hysteresis: 4 prediction bits share one hysteresis bit (§3.4: "32K
+//! prediction bits + 8K hysteresis bits").
+
+use simkit::stats::AccessStats;
+
+/// Bimodal table with shared hysteresis.
+#[derive(Clone, Debug)]
+pub struct BaseBimodal {
+    pred: Vec<bool>,
+    hyst: Vec<bool>,
+    shift: u32,
+}
+
+/// Values read from the base predictor at fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaseRead {
+    /// Prediction-array index.
+    pub index: usize,
+    /// Prediction bit.
+    pub pred: bool,
+    /// Shared hysteresis bit.
+    pub hyst: bool,
+}
+
+impl BaseBimodal {
+    /// `2^pred_bits` prediction bits, `2^(pred_bits - shift)` hysteresis
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift > pred_bits`.
+    pub fn new(pred_bits: u32, shift: u32) -> Self {
+        assert!(shift <= pred_bits, "hysteresis shift exceeds table bits");
+        Self {
+            pred: vec![false; 1 << pred_bits],
+            hyst: vec![true; 1 << (pred_bits - shift)], // weak state
+            shift,
+        }
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.pred.len() as u64 + self.hyst.len() as u64
+    }
+
+    /// Index for `pc`.
+    #[inline]
+    pub fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.pred.len() - 1)
+    }
+
+    /// Reads prediction and hysteresis for `pc`.
+    #[inline]
+    pub fn read(&self, pc: u64) -> BaseRead {
+        self.read_index(self.index(pc))
+    }
+
+    /// Reads using a known prediction-array index (retire-time re-read:
+    /// the pipeline carries the index, not the PC hash).
+    #[inline]
+    pub fn read_index(&self, index: usize) -> BaseRead {
+        BaseRead { index, pred: self.pred[index], hyst: self.hyst[index >> self.shift] }
+    }
+
+    /// Updates from a (possibly stale) read value toward `outcome`,
+    /// writing through to the arrays and accounting effective writes.
+    ///
+    /// The (pred, hyst) pair is a 2-bit counter: strong-NT (00), weak-NT
+    /// (01), weak-T (11), strong-T (10) — i.e. value = pred*2 + (pred ?
+    /// !hyst : hyst)... encoded here simply as counter c = pred*2 + hyst.
+    pub fn update(&mut self, read: BaseRead, outcome: bool, stats: &mut AccessStats) {
+        let c = (read.pred as u8) * 2 + read.hyst as u8;
+        let new_c = if outcome { (c + 1).min(3) } else { c.saturating_sub(1) };
+        let new_pred = new_c >= 2;
+        let new_hyst = (new_c & 1) == 1;
+        let hindex = read.index >> self.shift;
+        // The prediction and hysteresis bits are written together: count
+        // one (entry) write when either bit changes.
+        let changed = self.pred[read.index] != new_pred || self.hyst[hindex] != new_hyst;
+        if stats.record_write(changed) {
+            self.pred[read.index] = new_pred;
+            self.hyst[hindex] = new_hyst;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_matches_reference_shape() {
+        let b = BaseBimodal::new(15, 2);
+        assert_eq!(b.storage_bits(), 32 * 1024 + 8 * 1024);
+    }
+
+    #[test]
+    fn trains_to_strong_taken() {
+        let mut b = BaseBimodal::new(10, 2);
+        let mut stats = AccessStats::default();
+        for _ in 0..4 {
+            let r = b.read(0x40);
+            b.update(r, true, &mut stats);
+        }
+        let r = b.read(0x40);
+        assert!(r.pred);
+        // Strong taken: c = 3? c = pred*2+hyst: strongest is 3 (pred=1,hyst=1).
+        assert!(r.hyst);
+    }
+
+    #[test]
+    fn trains_to_strong_not_taken() {
+        let mut b = BaseBimodal::new(10, 2);
+        let mut stats = AccessStats::default();
+        for _ in 0..4 {
+            let r = b.read(0x40);
+            b.update(r, false, &mut stats);
+        }
+        let r = b.read(0x40);
+        assert!(!r.pred);
+        assert!(!r.hyst);
+    }
+
+    #[test]
+    fn hysteresis_is_shared_between_neighbours() {
+        let mut b = BaseBimodal::new(10, 2);
+        let mut stats = AccessStats::default();
+        // PCs 0x40>>2=0x10 and 0x44>>2=0x11 share hysteresis index 0x10>>2=4.
+        for _ in 0..4 {
+            let r = b.read(0x40);
+            b.update(r, false, &mut stats);
+        }
+        let before = b.read(0x44).hyst;
+        // Driving the neighbour taken flips the shared hysteresis bit.
+        for _ in 0..4 {
+            let r = b.read(0x44);
+            b.update(r, true, &mut stats);
+        }
+        let after = b.read(0x40).hyst; // shared bit seen from the first PC
+        assert!(!before && after, "hysteresis bit should be shared");
+    }
+
+    #[test]
+    fn silent_writes_are_counted() {
+        let mut b = BaseBimodal::new(10, 2);
+        let mut stats = AccessStats::default();
+        for _ in 0..10 {
+            let r = b.read(0x80);
+            b.update(r, true, &mut stats);
+        }
+        // After saturation (2 effective updates from weak-NT to strong-T
+        // plus hysteresis moves), the remaining updates are silent.
+        assert!(stats.silent_writes_avoided >= 6, "{stats:?}");
+        assert!(stats.effective_writes <= 4, "{stats:?}");
+    }
+
+    #[test]
+    fn stale_update_is_idempotent() {
+        // Two updates from the same stale read write the same value — the
+        // Figure 3 mechanism at the bit level.
+        let mut b = BaseBimodal::new(10, 2);
+        let mut stats = AccessStats::default();
+        let r = b.read(0xC0);
+        b.update(r, true, &mut stats);
+        let v1 = (b.read(0xC0).pred, b.read(0xC0).hyst);
+        b.update(r, true, &mut stats);
+        let v2 = (b.read(0xC0).pred, b.read(0xC0).hyst);
+        assert_eq!(v1, v2);
+    }
+}

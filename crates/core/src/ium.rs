@@ -1,0 +1,206 @@
+//! The Immediate Update Mimicker (§5.1).
+//!
+//! On a real processor the predictor tables are only updated at retire, so
+//! a hot entry can supply several stale predictions in a row. The IUM
+//! tracks, for every in-flight branch, *which predictor entry* provided its
+//! prediction. When a new prediction comes from the same (component, entry)
+//! as an **already executed but not yet retired** branch, the IUM answers
+//! with that branch's actual outcome instead of the stale TAGE prediction —
+//! mimicking an immediately updated table.
+//!
+//! Implemented as the paper describes: a small fully-associative structure
+//! with one entry per in-flight branch, managed as a circular buffer (the
+//! same repair discipline as the global history: mispredictions reinitialize
+//! the head, which trace-driven simulation models implicitly).
+
+/// One in-flight record: P/E state, component and entry (Figure 4).
+#[derive(Clone, Copy, Debug, Default)]
+struct IumEntry {
+    comp: u8,
+    index: u32,
+    executed: bool,
+    outcome: bool,
+    live: bool,
+}
+
+/// The Immediate Update Mimicker.
+#[derive(Clone, Debug)]
+pub struct Ium {
+    ring: Vec<IumEntry>,
+    head_seq: u64,
+    tail_seq: u64,
+    overrides: u64,
+}
+
+impl Ium {
+    /// An IUM with capacity for `capacity` in-flight branches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "IUM capacity must be a power of two");
+        Self { ring: vec![IumEntry::default(); capacity], head_seq: 0, tail_seq: 0, overrides: 0 }
+    }
+
+    #[inline]
+    fn slot(&self, seq: u64) -> usize {
+        (seq as usize) & (self.ring.len() - 1)
+    }
+
+    /// Searches the in-flight window, youngest first, for an **executed**
+    /// branch whose prediction came from the same (component, index).
+    /// Returns that branch's outcome — the corrected prediction.
+    pub fn lookup(&mut self, comp: u8, index: u32) -> Option<bool> {
+        let mut seq = self.head_seq;
+        while seq > self.tail_seq {
+            seq -= 1;
+            let e = &self.ring[self.slot(seq)];
+            if e.live && e.executed && e.comp == comp && e.index == index {
+                self.overrides += 1;
+                return Some(e.outcome);
+            }
+        }
+        None
+    }
+
+    /// Collects the outcomes of every **executed, not yet retired**
+    /// occurrence of entry (component, index), oldest first. These are
+    /// the updates an immediately updated table would already have
+    /// absorbed — the caller replays them onto the stale counter value to
+    /// *mimic* the immediate update (§5.1).
+    pub fn executed_outcomes(&self, comp: u8, index: u32) -> ([bool; 64], usize) {
+        let mut out = [false; 64];
+        let mut n = 0;
+        let mut seq = self.tail_seq;
+        while seq < self.head_seq && n < 64 {
+            let e = &self.ring[self.slot(seq)];
+            if e.live && e.executed && e.comp == comp && e.index == index {
+                out[n] = e.outcome;
+                n += 1;
+            }
+            seq += 1;
+        }
+        (out, n)
+    }
+
+    /// Notes that a mimicked prediction differed from the stale one.
+    pub fn note_override(&mut self) {
+        self.overrides += 1;
+    }
+
+    /// Records a fetched branch's provider entry. Returns the sequence
+    /// handle used by [`Ium::mark_executed`].
+    pub fn push(&mut self, comp: u8, index: u32) -> u64 {
+        if self.head_seq - self.tail_seq >= self.ring.len() as u64 {
+            // The window outran the buffer: retire the oldest record.
+            self.retire_oldest();
+        }
+        let seq = self.head_seq;
+        let slot = self.slot(seq);
+        self.ring[slot] = IumEntry { comp, index, executed: false, outcome: false, live: true };
+        self.head_seq += 1;
+        seq
+    }
+
+    /// Marks an in-flight branch executed with its resolved outcome.
+    pub fn mark_executed(&mut self, seq: u64, outcome: bool) {
+        if seq >= self.tail_seq && seq < self.head_seq {
+            let slot = self.slot(seq);
+            if self.ring[slot].live {
+                self.ring[slot].executed = true;
+                self.ring[slot].outcome = outcome;
+            }
+        }
+    }
+
+    /// Retires the oldest in-flight branch (records leave the window in
+    /// program order).
+    pub fn retire_oldest(&mut self) {
+        if self.tail_seq < self.head_seq {
+            let slot = self.slot(self.tail_seq);
+            self.ring[slot].live = false;
+            self.tail_seq += 1;
+        }
+    }
+
+    /// Number of predictions the IUM has overridden so far.
+    pub fn override_count(&self) -> u64 {
+        self.overrides
+    }
+
+    /// Live in-flight records.
+    pub fn len(&self) -> usize {
+        (self.head_seq - self.tail_seq) as usize
+    }
+
+    /// True when no branch is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.head_seq == self.tail_seq
+    }
+
+    /// Storage estimate in bits: component (4) + index (24) + P/E (1) +
+    /// outcome (1) per in-flight entry.
+    pub fn storage_bits(&self) -> u64 {
+        self.ring.len() as u64 * 30
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executed_entry_overrides() {
+        let mut ium = Ium::new(8);
+        let seq = ium.push(3, 0x55);
+        assert_eq!(ium.lookup(3, 0x55), None, "not executed yet");
+        ium.mark_executed(seq, true);
+        assert_eq!(ium.lookup(3, 0x55), Some(true));
+        assert_eq!(ium.override_count(), 1);
+    }
+
+    #[test]
+    fn youngest_match_wins() {
+        let mut ium = Ium::new(8);
+        let a = ium.push(1, 9);
+        let b = ium.push(1, 9);
+        ium.mark_executed(a, false);
+        ium.mark_executed(b, true);
+        assert_eq!(ium.lookup(1, 9), Some(true), "youngest executed occurrence wins");
+    }
+
+    #[test]
+    fn retired_entries_stop_matching() {
+        let mut ium = Ium::new(8);
+        let seq = ium.push(2, 7);
+        ium.mark_executed(seq, true);
+        ium.retire_oldest();
+        assert_eq!(ium.lookup(2, 7), None);
+        assert!(ium.is_empty());
+    }
+
+    #[test]
+    fn different_entries_do_not_match() {
+        let mut ium = Ium::new(8);
+        let seq = ium.push(2, 7);
+        ium.mark_executed(seq, true);
+        assert_eq!(ium.lookup(2, 8), None);
+        assert_eq!(ium.lookup(3, 7), None);
+    }
+
+    #[test]
+    fn overflow_retires_oldest() {
+        let mut ium = Ium::new(4);
+        let seqs: Vec<u64> = (0..6).map(|i| ium.push(0, i)).collect();
+        assert_eq!(ium.len(), 4);
+        // The two oldest were force-retired.
+        ium.mark_executed(seqs[0], true);
+        assert_eq!(ium.lookup(0, 0), None);
+    }
+
+    #[test]
+    fn storage_is_small() {
+        assert!(Ium::new(64).storage_bits() < 4096);
+    }
+}

@@ -1,0 +1,53 @@
+//! # tage — the TAGE conditional branch predictor family
+//!
+//! A from-scratch implementation of the predictors of *"A New Case for the
+//! TAGE Branch Predictor"* (André Seznec, MICRO 2011):
+//!
+//! * [`Tage`] — the TAGE predictor (§3): bimodal base + geometric-history
+//!   tagged components, u-bit management, `USE_ALT_ON_NA`;
+//! * [`ium::Ium`] — the Immediate Update Mimicker (§5.1);
+//! * [`loop_pred::LoopPredictor`] — the loop predictor + speculative
+//!   iteration management (§5.2);
+//! * [`corrector::Gsc`] / [`corrector::Lsc`] — the global and local
+//!   Statistical Correctors (§5.3, §6);
+//! * [`TageSystem`] — composites with the paper's named presets:
+//!   [`TageSystem::isl_tage`], [`TageSystem::tage_lsc`],
+//!   [`TageSystem::full_stack`], and the scaled Figure-9 families.
+//!
+//! All predictors implement [`simkit::Predictor`], including the §4
+//! delayed-update scenarios `[I]/[A]/[B]/[C]` and access accounting with
+//! silent-update elimination.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{BranchInfo, Predictor, UpdateScenario};
+//! use tage::TageSystem;
+//!
+//! let mut p = TageSystem::tage_lsc();
+//! let b = BranchInfo::conditional(0x40_0000);
+//! let (pred, mut flight) = p.predict(&b);
+//! let outcome = true;
+//! p.fetch_commit(&b, outcome, &mut flight);
+//! p.execute(&b, outcome, &mut flight);
+//! p.retire(&b, outcome, pred, flight, UpdateScenario::RereadAtRetire);
+//! assert!(p.storage_bits() <= 512 * 1024);
+//! ```
+
+pub mod base;
+pub mod confidence;
+pub mod config;
+pub mod corrector;
+pub mod ium;
+pub mod loop_pred;
+pub mod system;
+pub mod tage;
+pub mod tagged;
+
+pub use confidence::{classify, Confidence, ConfidenceStats};
+pub use config::{TageConfig, MAX_TAGGED};
+pub use corrector::{Gsc, Lsc};
+pub use ium::Ium;
+pub use loop_pred::LoopPredictor;
+pub use system::{SystemFlight, TageSystem};
+pub use tage::{Tage, TageFlight};

@@ -1,0 +1,696 @@
+//! Composite predictors: TAGE plus its side predictors (§5–§6).
+//!
+//! [`TageSystem`] assembles the main TAGE predictor with any combination
+//! of the paper's side predictors:
+//!
+//! * the **IUM** (§5.1), correcting predictions served by entries with
+//!   executed-but-not-retired in-flight occurrences;
+//! * the **loop predictor** (§5.2), overriding on high-confidence
+//!   constant-trip loops;
+//! * the **global Statistical Corrector** (§5.3), reverting statistically
+//!   unlikely predictions;
+//! * the **local Statistical Corrector** (§6), doing the same with
+//!   per-branch local history.
+//!
+//! Predictions chain exactly as in Figures 6–7: TAGE → IUM → SC → LSC,
+//! with the loop predictor override on top. Presets reproduce the paper's
+//! named predictors: `ISL-TAGE` (= TAGE + IUM + loop + SC) and `TAGE-LSC`
+//! (= TAGE with T7 halved + IUM + LSC).
+
+use crate::config::TageConfig;
+use crate::corrector::{CorrectorFlight, Gsc, Lsc};
+use crate::ium::Ium;
+use crate::loop_pred::{LoopLookup, LoopPredictor};
+use crate::tage::{Tage, TageFlight};
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+
+/// Default in-flight capacity for the IUM (matches the pipeline window).
+pub const DEFAULT_IUM_CAPACITY: usize = 64;
+
+/// A TAGE predictor composed with optional side predictors.
+#[derive(Clone, Debug)]
+pub struct TageSystem {
+    tage: Tage,
+    ium: Option<Ium>,
+    loop_pred: Option<LoopPredictor>,
+    gsc: Option<Gsc>,
+    lsc: Option<Lsc>,
+    /// §7.2 knob: when set, the LSC tables are always updated from a
+    /// retire-time re-read even if the TAGE components run scenario
+    /// \[B\]/\[C\] ("optimization applied only to the TAGE components").
+    lsc_always_reread: bool,
+    side_stats: AccessStats,
+    label: String,
+}
+
+/// In-flight snapshot for [`TageSystem`].
+#[derive(Clone, Copy, Debug)]
+pub struct SystemFlight {
+    /// The TAGE snapshot.
+    pub tage: TageFlight,
+    ium_seq: u64,
+    /// The IUM's corrected prediction, when it overrode TAGE.
+    pub ium_override: Option<bool>,
+    /// Prediction after the IUM stage (the "TAGE + IUM" output).
+    pub base_pred: bool,
+    /// Global corrector snapshot.
+    pub gsc: Option<CorrectorFlight>,
+    /// Local corrector snapshot.
+    pub lsc: Option<CorrectorFlight>,
+    /// Prediction entering the loop-predictor stage.
+    pub pre_loop_pred: bool,
+    /// Loop predictor lookup result.
+    pub loop_hit: Option<LoopLookup>,
+    /// Whether the loop predictor's prediction was used.
+    pub loop_used: bool,
+    /// The final prediction of the whole system.
+    pub final_pred: bool,
+}
+
+impl TageSystem {
+    /// A bare TAGE system (no side predictors).
+    pub fn new(cfg: TageConfig) -> Self {
+        Self {
+            tage: Tage::new(cfg),
+            ium: None,
+            loop_pred: None,
+            gsc: None,
+            lsc: None,
+            lsc_always_reread: false,
+            side_stats: AccessStats::default(),
+            label: "TAGE".to_string(),
+        }
+    }
+
+    /// Switches every component (TAGE tables and any LSC tables) to
+    /// 4-way bank-interleaved single-ported arrays (§4.3, §7.1).
+    pub fn interleaved(mut self) -> Self {
+        self.tage.enable_interleaving();
+        if let Some(lsc) = &mut self.lsc {
+            lsc.enable_interleaving();
+        }
+        self
+    }
+
+    /// §7.2: keep re-reading the *local* corrector at retire while the
+    /// TAGE components skip the retire read on correct predictions.
+    pub fn lsc_always_reread(mut self) -> Self {
+        self.lsc_always_reread = true;
+        self
+    }
+
+    /// The §7 cost-effective 512 Kbit TAGE-LSC: 4-way interleaved
+    /// single-ported tables with the local components doubled (§7.1).
+    pub fn tage_lsc_cost_effective() -> Self {
+        Self::new(TageConfig::tage_lsc_core())
+            .with_ium(DEFAULT_IUM_CAPACITY)
+            .with_lsc(Lsc::cbp_30kbit_interleaved())
+            .labeled("TAGE-LSC-interleaved")
+            .interleaved()
+    }
+
+    /// Adds an Immediate Update Mimicker (§5.1).
+    pub fn with_ium(mut self, capacity: usize) -> Self {
+        self.ium = Some(Ium::new(capacity));
+        self.relabel();
+        self
+    }
+
+    /// Adds a loop predictor (§5.2).
+    pub fn with_loop(mut self, lp: LoopPredictor) -> Self {
+        self.loop_pred = Some(lp);
+        self.relabel();
+        self
+    }
+
+    /// Adds a global-history statistical corrector (§5.3).
+    pub fn with_gsc(mut self, gsc: Gsc) -> Self {
+        self.gsc = Some(gsc);
+        self.relabel();
+        self
+    }
+
+    /// Adds a local-history statistical corrector (§6).
+    pub fn with_lsc(mut self, lsc: Lsc) -> Self {
+        self.lsc = Some(lsc);
+        self.relabel();
+        self
+    }
+
+    fn relabel(&mut self) {
+        let mut label = "TAGE".to_string();
+        if self.ium.is_some() {
+            label.push_str("+IUM");
+        }
+        if self.loop_pred.is_some() {
+            label.push_str("+LOOP");
+        }
+        if self.gsc.is_some() {
+            label.push_str("+SC");
+        }
+        if self.lsc.is_some() {
+            label.push_str("+LSC");
+        }
+        self.label = label;
+    }
+
+    /// Overrides the display label (used by the named presets).
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    /// The §3.4 reference 64 KB TAGE, no side predictors.
+    pub fn reference_tage() -> Self {
+        Self::new(TageConfig::reference_64kb())
+    }
+
+    /// Reference TAGE + IUM.
+    pub fn tage_ium() -> Self {
+        Self::reference_tage().with_ium(DEFAULT_IUM_CAPACITY)
+    }
+
+    /// The L-TAGE predictor (TAGE + loop predictor — the CBP-2 winner the
+    /// paper uses as its §2.2 base predictor).
+    pub fn l_tage() -> Self {
+        Self::reference_tage().with_loop(LoopPredictor::cbp_64()).labeled("L-TAGE")
+    }
+
+    /// The ISL-TAGE predictor (§5): TAGE + IUM + loop predictor + global
+    /// statistical corrector.
+    pub fn isl_tage() -> Self {
+        Self::reference_tage()
+            .with_ium(DEFAULT_IUM_CAPACITY)
+            .with_loop(LoopPredictor::cbp_64())
+            .with_gsc(Gsc::cbp_24kbit())
+            .labeled("ISL-TAGE")
+    }
+
+    /// The TAGE-LSC predictor (§6.1): the reference TAGE with T7 halved,
+    /// plus IUM and the local statistical corrector — 512 Kbit total.
+    pub fn tage_lsc() -> Self {
+        Self::new(TageConfig::tage_lsc_core())
+            .with_ium(DEFAULT_IUM_CAPACITY)
+            .with_lsc(Lsc::cbp_30kbit())
+            .labeled("TAGE-LSC")
+    }
+
+    /// The full §6.1 stack: TAGE + IUM + loop + SC + LSC (the 555 MPPKI
+    /// configuration of the paper).
+    pub fn full_stack() -> Self {
+        Self::reference_tage()
+            .with_ium(DEFAULT_IUM_CAPACITY)
+            .with_loop(LoopPredictor::cbp_64())
+            .with_gsc(Gsc::cbp_24kbit())
+            .with_lsc(Lsc::cbp_30kbit())
+            .labeled("TAGE+IUM+LOOP+SC+LSC")
+    }
+
+    /// A scaled plain TAGE for the Figure 9 sweep (`delta` in powers of
+    /// two relative to the 512 Kbit reference).
+    pub fn scaled_tage(delta: i32) -> Self {
+        Self::new(TageConfig::reference_64kb().scaled(delta))
+    }
+
+    /// A scaled TAGE-LSC for the Figure 9 sweep.
+    pub fn scaled_tage_lsc(delta: i32) -> Self {
+        Self::new(TageConfig::tage_lsc_core().scaled(delta))
+            .with_ium(DEFAULT_IUM_CAPACITY)
+            .with_lsc(Lsc::cbp_30kbit().scaled(delta))
+            .labeled("TAGE-LSC")
+    }
+
+    /// The inner TAGE predictor (diagnostics).
+    pub fn tage(&self) -> &Tage {
+        &self.tage
+    }
+
+    /// Debug view of the loop predictor entry for `pc` (diagnostics).
+    pub fn loop_debug(&self, pc: u64) -> Option<(u16, u16, u16, u8, u8)> {
+        self.loop_pred.as_ref().and_then(|lp| lp.debug_entry(pc))
+    }
+
+    /// IUM override count so far, if an IUM is attached.
+    pub fn ium_overrides(&self) -> Option<u64> {
+        self.ium.as_ref().map(Ium::override_count)
+    }
+
+    /// Revert counts of the attached correctors (global, local).
+    pub fn revert_counts(&self) -> (Option<u64>, Option<u64>) {
+        (self.gsc.as_ref().map(Gsc::revert_count), self.lsc.as_ref().map(Lsc::revert_count))
+    }
+}
+
+impl Predictor for TageSystem {
+    type Flight = SystemFlight;
+
+    fn name(&self) -> String {
+        format!("{}-{}Kbit", self.label, (self.storage_bits() + 512) / 1024)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.tage.storage_bits()
+            + self.ium.as_ref().map_or(0, Ium::storage_bits)
+            + self.loop_pred.as_ref().map_or(0, LoopPredictor::storage_bits)
+            + self.gsc.as_ref().map_or(0, Gsc::storage_bits)
+            + self.lsc.as_ref().map_or(0, Lsc::storage_bits)
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, SystemFlight) {
+        let (tage_pred, tf) = self.tage.predict(b);
+        let mut pred = tage_pred;
+
+        // 1. IUM: mimic the immediate update. Replay the outcomes of every
+        // executed-but-not-retired occurrence of the provider entry onto
+        // the stale counter value; if the mimicked counter predicts
+        // differently, use the mimicked direction (§5.1).
+        let mut ium_override = None;
+        if let Some(ium) = &mut self.ium {
+            let (comp, idx) = tf.provider_entry();
+            let (outcomes, n) = ium.executed_outcomes(comp, idx);
+            if n > 0 {
+                let mimicked = match tf.provider {
+                    Some(p) => {
+                        let mut c = simkit::SignedCounter::with_value(
+                            self.tage.config().ctr_bits,
+                            tf.ctrs[p as usize],
+                        );
+                        for &o in &outcomes[..n] {
+                            c.update(o);
+                        }
+                        c.is_taken()
+                    }
+                    None => {
+                        // Bimodal provider: replay onto the 2-bit state.
+                        let mut c = (tf.base.pred as i16) * 2 + tf.base.hyst as i16;
+                        for &o in &outcomes[..n] {
+                            c = if o { (c + 1).min(3) } else { (c - 1).max(0) };
+                        }
+                        c >= 2
+                    }
+                };
+                if mimicked != pred {
+                    ium.note_override();
+                    ium_override = Some(mimicked);
+                    pred = mimicked;
+                }
+            }
+        }
+        let base_pred = pred;
+        let centered = tf.provider_centered();
+
+        // 2. Global statistical corrector.
+        let gsc_f = self.gsc.as_mut().map(|g| g.predict(b.pc, base_pred, centered));
+        if let Some(f) = &gsc_f {
+            if f.revert {
+                pred = f.sc_pred;
+            }
+        }
+
+        // 3. Local statistical corrector (judges the chained prediction).
+        let lsc_f = self.lsc.as_mut().map(|l| l.predict(b.pc, pred, centered));
+        if let Some(f) = &lsc_f {
+            if f.revert {
+                pred = f.sc_pred;
+            }
+        }
+        let pre_loop_pred = pred;
+
+        // 4. Loop predictor override on saturated confidence.
+        let loop_hit = self.loop_pred.as_ref().and_then(|lp| lp.lookup(b.pc));
+        let mut loop_used = false;
+        if let Some(lh) = loop_hit {
+            if lh.confident {
+                pred = lh.pred;
+                loop_used = true;
+            }
+        }
+
+        let flight = SystemFlight {
+            tage: tf,
+            ium_seq: 0,
+            ium_override,
+            base_pred,
+            gsc: gsc_f,
+            lsc: lsc_f,
+            pre_loop_pred,
+            loop_hit,
+            loop_used,
+            final_pred: pred,
+        };
+        (pred, flight)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut SystemFlight) {
+        self.tage.fetch_commit(b, outcome, &mut flight.tage);
+        if let Some(ium) = &mut self.ium {
+            let (comp, idx) = flight.tage.provider_entry();
+            flight.ium_seq = ium.push(comp, idx);
+        }
+        if let Some(g) = &mut self.gsc {
+            g.on_branch(outcome);
+        }
+        if let Some(l) = &mut self.lsc {
+            l.spec_update(b.pc, outcome);
+        }
+        if let Some(lp) = &mut self.loop_pred {
+            lp.spec_update(b.pc, outcome);
+        }
+    }
+
+    fn execute(&mut self, _b: &BranchInfo, outcome: bool, flight: &mut SystemFlight) {
+        if let Some(ium) = &mut self.ium {
+            ium.mark_executed(flight.ium_seq, outcome);
+        }
+    }
+
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: SystemFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        let reread = scenario.reread_at_retire(mispredicted);
+
+        if let Some(lp) = &mut self.loop_pred {
+            // Allocate for branches the main (TAGE+IUM) prediction missed;
+            // age credit when the loop prediction fixed a miss (§5.2).
+            let allocate = flight.base_pred != outcome;
+            let useful = flight.loop_used
+                && flight.final_pred == outcome
+                && flight.pre_loop_pred != outcome;
+            lp.retire_update(b.pc, outcome, allocate, useful);
+        }
+        if let (Some(g), Some(gf)) = (&mut self.gsc, &flight.gsc) {
+            g.update(gf, outcome, reread, &mut self.side_stats);
+        }
+        if let (Some(l), Some(lf)) = (&mut self.lsc, &flight.lsc) {
+            l.update(lf, outcome, reread || self.lsc_always_reread, &mut self.side_stats);
+        }
+        if let Some(ium) = &mut self.ium {
+            ium.retire_oldest();
+        }
+        self.tage.retire(b, outcome, predicted, flight.tage, scenario);
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        self.tage.note_uncond(b);
+    }
+
+    fn stats(&self) -> AccessStats {
+        let mut s = self.tage.stats();
+        s.merge(&self.side_stats);
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.tage.reset_stats();
+        self.side_stats = AccessStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Functional drive: predict → fetch_commit → execute → retire.
+    fn drive<P: Predictor>(p: &mut P, pc: u64, outcome: bool) -> bool {
+        let b = BranchInfo::conditional(pc);
+        let (pred, mut f) = p.predict(&b);
+        p.fetch_commit(&b, outcome, &mut f);
+        p.execute(&b, outcome, &mut f);
+        p.retire(&b, outcome, pred, f, UpdateScenario::Immediate);
+        pred
+    }
+
+    /// Drive with a delayed pipeline: execute after `exec_lag` further
+    /// branches, retire after `retire_lag`.
+    fn drive_delayed<P: Predictor>(
+        p: &mut P,
+        stream: &[(u64, bool)],
+        exec_lag: usize,
+        retire_lag: usize,
+        scenario: UpdateScenario,
+    ) -> u64 {
+        let mut inflight: std::collections::VecDeque<(BranchInfo, bool, bool, P::Flight, usize)> =
+            std::collections::VecDeque::new();
+        let mut mispredicts = 0;
+        for (i, &(pc, outcome)) in stream.iter().enumerate() {
+            let b = BranchInfo::conditional(pc);
+            let (pred, mut f) = p.predict(&b);
+            if pred != outcome {
+                mispredicts += 1;
+            }
+            p.fetch_commit(&b, outcome, &mut f);
+            inflight.push_back((b, outcome, pred, f, i));
+            // Execute stage.
+            let exec_ready: Vec<usize> = inflight
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, _, _, at))| i >= at + exec_lag)
+                .map(|(k, _)| k)
+                .collect();
+            for k in exec_ready {
+                let (b, outcome, _, f, _) = &mut inflight[k];
+                let (b, outcome) = (*b, *outcome);
+                p.execute(&b, outcome, f);
+            }
+            while let Some((_, _, _, _, at)) = inflight.front() {
+                if i >= at + retire_lag {
+                    let (b, outcome, pred, f, _) = inflight.pop_front().unwrap();
+                    p.retire(&b, outcome, pred, f, scenario);
+                } else {
+                    break;
+                }
+            }
+        }
+        for (b, outcome, pred, f, _) in inflight {
+            p.retire(&b, outcome, pred, f, scenario);
+        }
+        mispredicts
+    }
+
+    fn small_cfg() -> TageConfig {
+        TageConfig {
+            num_tagged: 6,
+            l1: 4,
+            lmax: 128,
+            bimodal_bits: 10,
+            hysteresis_shift: 2,
+            table_size_bits: vec![9; 6],
+            tag_widths: vec![8, 9, 10, 11, 12, 12],
+            ctr_bits: 3,
+            max_alloc: 4,
+            path_bits: 16,
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_budgets() {
+        // ISL-TAGE: reference TAGE + small side predictors.
+        let isl = TageSystem::isl_tage();
+        let tage_bits = 65_408 * 8;
+        assert!(isl.storage_bits() > tage_bits);
+        assert!(isl.storage_bits() < tage_bits + 40 * 1024);
+        // TAGE-LSC fits the 512 Kbit budget (§6.1).
+        let lsc = TageSystem::tage_lsc();
+        assert!(
+            lsc.storage_bits() <= 512 * 1024,
+            "TAGE-LSC budget exceeded: {}",
+            lsc.storage_bits()
+        );
+        assert!(lsc.storage_bits() > 500 * 1024);
+    }
+
+    #[test]
+    fn preset_names() {
+        assert!(TageSystem::isl_tage().name().starts_with("ISL-TAGE"));
+        assert!(TageSystem::tage_lsc().name().starts_with("TAGE-LSC"));
+        assert!(TageSystem::reference_tage().name().starts_with("TAGE"));
+        assert!(TageSystem::l_tage().name().starts_with("L-TAGE"));
+    }
+
+    #[test]
+    fn l_tage_is_tage_plus_loop() {
+        let l = TageSystem::l_tage();
+        let t = TageSystem::reference_tage();
+        // Loop predictor adds 64 × 47 bits on top of the reference TAGE.
+        assert_eq!(l.storage_bits() - t.storage_bits(), 64 * 47);
+    }
+
+    #[test]
+    fn ium_overrides_from_executed_inflight_branch() {
+        // Deterministic §5.1 scenario: a branch predicted by the bimodal
+        // base executes (outcome ≠ prediction) but has not retired. A new
+        // occurrence served by the same entry must be corrected by the IUM.
+        // PC chosen so no table computes a zero tag (which would falsely
+        // hit an empty tagged entry and move the provider off the bimodal).
+        let b = BranchInfo::conditional(0x434);
+        let mut with_ium = TageSystem::new(small_cfg()).with_ium(64);
+        let (pred1, mut f1) = with_ium.predict(&b);
+        with_ium.fetch_commit(&b, !pred1, &mut f1);
+        with_ium.execute(&b, !pred1, &mut f1);
+        // Same PC again, before retirement: provider is the same bimodal
+        // entry; prediction must flip to the executed outcome.
+        let (pred2, f2) = with_ium.predict(&b);
+        assert_eq!(pred2, !pred1, "IUM must override with the executed outcome");
+        assert_eq!(f2.ium_override, Some(!pred1));
+        assert_eq!(with_ium.ium_overrides().unwrap(), 1);
+
+        // Control: without the IUM the stale prediction persists.
+        let mut plain = TageSystem::new(small_cfg());
+        let (p1, mut g1) = plain.predict(&b);
+        plain.fetch_commit(&b, !p1, &mut g1);
+        plain.execute(&b, !p1, &mut g1);
+        let (p2, _) = plain.predict(&b);
+        assert_eq!(p2, p1, "without IUM the stale table value is used");
+    }
+
+    #[test]
+    fn ium_helps_on_phase_changes_in_tight_loops() {
+        // A branch whose direction flips every 40 occurrences, with deep
+        // in-flight windows under scenario [B]: the IUM recovers part of
+        // the transition mispredictions.
+        let stream: Vec<(u64, bool)> =
+            (0..20_000).map(|i| (0x400u64, (i / 40) % 2 == 0)).collect();
+        let mut plain = TageSystem::new(small_cfg());
+        let base = drive_delayed(&mut plain, &stream, 2, 24, UpdateScenario::FetchOnly);
+        let mut with_ium = TageSystem::new(small_cfg()).with_ium(64);
+        let ium = drive_delayed(&mut with_ium, &stream, 2, 24, UpdateScenario::FetchOnly);
+        assert!(
+            ium <= base,
+            "IUM should not hurt delayed-update mispredictions: {ium} vs {base}"
+        );
+        assert!(with_ium.ium_overrides().unwrap() > 0, "IUM never engaged");
+    }
+
+    #[test]
+    fn loop_predictor_fixes_noisy_constant_loops() {
+        // Constant-trip loop with a noisy body: TAGE cannot count through
+        // the noise, the loop predictor can.
+        let mut rng = simkit::rng::Xoshiro256::seed_from(3);
+        let mut stream = Vec::new();
+        for _ in 0..400 {
+            for i in 1..=17 {
+                stream.push((0x900u64 + (rng.gen_range(4) << 4), rng.gen_bool(0.5)));
+                stream.push((0x800u64, i != 17));
+            }
+        }
+        let count_loop_misses = |p: &mut TageSystem| {
+            let mut wrong = 0;
+            for (k, &(pc, out)) in stream.iter().enumerate() {
+                let got = drive(p, pc, out);
+                if pc == 0x800 && got != out && k > stream.len() / 2 {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        let mut plain = TageSystem::new(small_cfg());
+        let base = count_loop_misses(&mut plain);
+        let mut with_loop =
+            TageSystem::new(small_cfg()).with_loop(LoopPredictor::cbp_64());
+        let looped = count_loop_misses(&mut with_loop);
+        assert!(
+            looped * 2 < base.max(1),
+            "loop predictor should fix constant loops: {looped} vs {base}"
+        );
+    }
+
+    #[test]
+    fn gsc_improves_statistically_biased_branches() {
+        let mut rng = simkit::rng::Xoshiro256::seed_from(4);
+        let stream: Vec<(u64, bool)> = (0..40_000)
+            .map(|i| {
+                let pc = 0x1000 + ((i % 7) << 4) as u64;
+                (pc, rng.gen_bool(0.75))
+            })
+            .collect();
+        let run = |p: &mut TageSystem| {
+            let mut wrong = 0;
+            for &(pc, out) in &stream {
+                if drive(p, pc, out) != out {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        let mut plain = TageSystem::new(small_cfg());
+        let base = run(&mut plain);
+        let mut with_sc = TageSystem::new(small_cfg()).with_gsc(Gsc::cbp_24kbit());
+        let sc = run(&mut with_sc);
+        assert!(
+            sc as f64 <= base as f64 * 1.02,
+            "SC should not hurt biased branches: {sc} vs {base}"
+        );
+        assert!(with_sc.revert_counts().0.unwrap() > 0, "SC never reverted");
+    }
+
+    #[test]
+    fn lsc_captures_local_patterns_in_noise() {
+        // Period-23 pattern interleaved with random branches: hostile to
+        // global history, easy for local history.
+        let mut rng = simkit::rng::Xoshiro256::seed_from(5);
+        let pattern: Vec<bool> = (0..23).map(|_| rng.gen_bool(0.5)).collect();
+        let mut stream = Vec::new();
+        for i in 0..15_000 {
+            stream.push((0x2004u64, rng.gen_bool(0.5)));
+            stream.push((0x2008u64, rng.gen_bool(0.5)));
+            stream.push((0x200Cu64, pattern[i % 23]));
+        }
+        let run = |p: &mut TageSystem| {
+            let mut wrong = 0;
+            for (k, &(pc, out)) in stream.iter().enumerate() {
+                let got = drive(p, pc, out);
+                if pc == 0x200C && got != out && k > stream.len() / 2 {
+                    wrong += 1;
+                }
+            }
+            wrong
+        };
+        let mut plain = TageSystem::new(small_cfg());
+        let base = run(&mut plain);
+        let mut with_lsc = TageSystem::new(small_cfg()).with_lsc(Lsc::cbp_30kbit());
+        let lsc = run(&mut with_lsc);
+        assert!(
+            (lsc as f64) < base as f64 * 0.6,
+            "LSC should capture the local pattern: {lsc} vs {base}"
+        );
+    }
+
+    #[test]
+    fn full_stack_storage_is_sum_of_parts() {
+        let full = TageSystem::full_stack();
+        let plain = TageSystem::reference_tage();
+        assert!(full.storage_bits() > plain.storage_bits());
+        let delta = full.storage_bits() - plain.storage_bits();
+        // IUM + loop + GSC + LSC ≈ 2 + 3 + 24 + 31 Kbit.
+        assert!(delta < 80 * 1024, "side predictor budget too large: {delta}");
+    }
+
+    #[test]
+    fn scaled_presets_track_delta() {
+        let small = TageSystem::scaled_tage(-2);
+        let big = TageSystem::scaled_tage(2);
+        assert!(big.storage_bits() > small.storage_bits() * 8);
+        let l_small = TageSystem::scaled_tage_lsc(-2);
+        let l_big = TageSystem::scaled_tage_lsc(2);
+        assert!(l_big.storage_bits() > l_small.storage_bits() * 8);
+    }
+
+    #[test]
+    fn stats_include_side_predictor_writes() {
+        let mut p = TageSystem::tage_lsc();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(6);
+        for _ in 0..2000 {
+            drive(&mut p, 0x3000, rng.gen_bool(0.7));
+        }
+        let s = p.stats();
+        assert!(s.predict_reads == 2000);
+        assert!(s.raw_writes() > 0);
+    }
+}

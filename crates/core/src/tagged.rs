@@ -1,0 +1,221 @@
+//! Tagged predictor components (tables T1..TM).
+//!
+//! Each entry holds a 3-bit prediction counter `ctr` (sign = prediction),
+//! a partial tag and a useful bit `u` (Figure 2 of the paper). Tables are
+//! indexed with a hash of the PC, a folded global history of the table's
+//! geometric length, and folded path history; tags use two differently
+//! folded histories so index- and tag-aliasing are decorrelated.
+
+use simkit::bits::mask;
+use simkit::counter::SignedCounter;
+use simkit::history::{FoldedHistory, GlobalHistory, PathHistory};
+
+/// One entry of a tagged component.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaggedEntry {
+    /// Prediction counter; sign provides the prediction.
+    pub ctr: SignedCounter,
+    /// Partial tag.
+    pub tag: u16,
+    /// Useful bit (replacement guard, §3.2.2).
+    pub u: bool,
+}
+
+/// A tagged component table.
+#[derive(Clone, Debug)]
+pub struct TaggedTable {
+    entries: Vec<TaggedEntry>,
+    size_bits: u32,
+    tag_width: u8,
+    hist_len: usize,
+    table_num: usize,
+    folded_idx: FoldedHistory,
+    folded_tag0: FoldedHistory,
+    folded_tag1: FoldedHistory,
+}
+
+impl TaggedTable {
+    /// Creates table `table_num` (1-based) with `2^size_bits` entries,
+    /// `tag_width`-bit tags and history length `hist_len`.
+    pub fn new(table_num: usize, size_bits: u32, tag_width: u8, hist_len: usize, ctr_bits: u8) -> Self {
+        assert!(hist_len >= 1, "tagged table history length must be positive");
+        let empty = TaggedEntry { ctr: SignedCounter::new(ctr_bits), tag: 0, u: false };
+        Self {
+            entries: vec![empty; 1 << size_bits],
+            size_bits,
+            tag_width,
+            hist_len,
+            table_num,
+            folded_idx: FoldedHistory::new(hist_len, size_bits),
+            folded_tag0: FoldedHistory::new(hist_len, u32::from(tag_width)),
+            folded_tag1: FoldedHistory::new(hist_len, u32::from(tag_width).saturating_sub(1).max(1)),
+        }
+    }
+
+    /// Advances the folded histories after a [`GlobalHistory::push`].
+    #[inline]
+    pub fn update_history(&mut self, gh: &GlobalHistory) {
+        self.folded_idx.update(gh);
+        self.folded_tag0.update(gh);
+        self.folded_tag1.update(gh);
+    }
+
+    /// Table index for this (PC, history, path).
+    #[inline]
+    pub fn index(&self, pc: u64, path: &PathHistory) -> usize {
+        let pc = pc >> 2;
+        let pmix = (path.value() & mask(16.min(self.hist_len as u32)))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            >> (64 - self.size_bits);
+        let h = self.folded_idx.value();
+        ((pc ^ (pc >> (self.size_bits as u64 - (self.table_num as u64 & 3))) ^ h ^ pmix) as usize)
+            & ((1 << self.size_bits) - 1)
+    }
+
+    /// Partial tag for this (PC, history).
+    #[inline]
+    pub fn tag(&self, pc: u64) -> u16 {
+        let pc = pc >> 2;
+        ((pc ^ self.folded_tag0.value() ^ (self.folded_tag1.value() << 1)) & mask(u32::from(self.tag_width)))
+            as u16
+    }
+
+    /// Reads an entry.
+    #[inline]
+    pub fn entry(&self, index: usize) -> TaggedEntry {
+        self.entries[index]
+    }
+
+    /// Writes an entry, returning whether the stored value changed.
+    #[inline]
+    pub fn write(&mut self, index: usize, entry: TaggedEntry) -> bool {
+        let changed = self.entries[index] != entry;
+        self.entries[index] = entry;
+        changed
+    }
+
+    /// Clears every useful bit (the §3.2.2 global reset).
+    pub fn reset_useful(&mut self) {
+        for e in &mut self.entries {
+            e.u = false;
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Geometric history length of this table.
+    pub fn hist_len(&self) -> usize {
+        self.hist_len
+    }
+
+    /// Tag width in bits.
+    pub fn tag_width(&self) -> u8 {
+        self.tag_width
+    }
+
+    /// Storage in bits (ctr + u + tag per entry).
+    pub fn storage_bits(&self, ctr_bits: u8) -> u64 {
+        self.entries.len() as u64 * (u64::from(ctr_bits) + 1 + u64::from(self.tag_width))
+    }
+
+    /// Fraction of entries with the useful bit set (diagnostics).
+    pub fn useful_fraction(&self) -> f64 {
+        self.entries.iter().filter(|e| e.u).count() as f64 / self.entries.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TaggedTable {
+        TaggedTable::new(3, 10, 9, 17, 3)
+    }
+
+    #[test]
+    fn index_and_tag_in_range() {
+        let mut gh = GlobalHistory::new();
+        let mut path = PathHistory::new(16);
+        let mut t = table();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(1);
+        for _ in 0..1000 {
+            gh.push(rng.gen_bool(0.5));
+            t.update_history(&gh);
+            path.push(rng.next_u64());
+            let pc = rng.next_u64();
+            assert!(t.index(pc, &path) < t.len());
+            assert!(t.tag(pc) < (1 << 9));
+        }
+    }
+
+    #[test]
+    fn different_histories_different_indices() {
+        let mut gh = GlobalHistory::new();
+        let path = PathHistory::new(16);
+        let mut t = table();
+        let pc = 0x40_0040;
+        let mut indices = std::collections::HashSet::new();
+        let mut rng = simkit::rng::Xoshiro256::seed_from(2);
+        for _ in 0..64 {
+            gh.push(rng.gen_bool(0.5));
+            t.update_history(&gh);
+            indices.insert(t.index(pc, &path));
+        }
+        assert!(indices.len() > 30, "indices poorly spread: {}", indices.len());
+    }
+
+    #[test]
+    fn index_spread_is_roughly_uniform() {
+        let mut gh = GlobalHistory::new();
+        let mut path = PathHistory::new(16);
+        let mut t = table();
+        let mut counts = vec![0u32; t.len()];
+        let mut rng = simkit::rng::Xoshiro256::seed_from(3);
+        for _ in 0..40_000 {
+            gh.push(rng.gen_bool(0.5));
+            t.update_history(&gh);
+            path.push(rng.next_u64());
+            counts[t.index(rng.next_u64() << 2, &path)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 160 && min > 5, "spread min={min} max={max}");
+    }
+
+    #[test]
+    fn write_detects_silent() {
+        let mut t = table();
+        let e = t.entry(5);
+        assert!(!t.write(5, e), "identical write should be silent");
+        let mut e2 = e;
+        e2.tag = 0x1F;
+        assert!(t.write(5, e2));
+    }
+
+    #[test]
+    fn reset_useful_clears_all() {
+        let mut t = table();
+        for i in 0..t.len() {
+            let mut e = t.entry(i);
+            e.u = true;
+            t.write(i, e);
+        }
+        assert!((t.useful_fraction() - 1.0).abs() < 1e-9);
+        t.reset_useful();
+        assert_eq!(t.useful_fraction(), 0.0);
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let t = table();
+        assert_eq!(t.storage_bits(3), 1024 * (3 + 1 + 9));
+    }
+}

@@ -1,0 +1,13 @@
+use harness::ExpContext;
+use simkit::UpdateScenario;
+use workloads::suite::Scale;
+
+fn main() {
+    let ctx = ExpContext::new(Scale::Default);
+    for delta in [-2i32, 0, 2, 4, 6] {
+        let t = ctx.run(|| tage::TageSystem::scaled_tage(delta), UpdateScenario::RereadAtRetire);
+        let l = ctx.run(|| tage::TageSystem::scaled_tage_lsc(delta), UpdateScenario::RereadAtRetire);
+        let c02 = l.reports.iter().find(|r| r.trace == "CLIENT02").unwrap().mppki();
+        println!("delta {delta:+}: TAGE {:7.1}  TAGE-LSC {:7.1}  CLIENT02(LSC) {:7.1}", t.mppki(), l.mppki(), c02);
+    }
+}

@@ -1,0 +1,65 @@
+//! `tage-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! tage-exp <experiment|all> [--scale tiny|small|default|full]
+//! ```
+
+use harness::experiments::{run, ALL_EXPERIMENTS};
+use harness::ExpContext;
+use workloads::suite::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (tiny|small|default|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(id) {
+            eprintln!("unknown experiment '{id}'");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+    println!("# tage-exp: scale={scale:?} ({} branches/trace)", scale.branches());
+    let start = std::time::Instant::now();
+    let ctx = ExpContext::new(scale);
+    println!("# generated 40 traces in {:.1}s", start.elapsed().as_secs_f32());
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        run(id, &ctx);
+        println!("# [{id}] done in {:.1}s\n", t0.elapsed().as_secs_f32());
+    }
+}
+
+fn print_usage() {
+    println!("usage: tage-exp <experiment|all> [--scale tiny|small|default|full]");
+    println!("experiments:");
+    for id in ALL_EXPERIMENTS {
+        println!("  {id}");
+    }
+}

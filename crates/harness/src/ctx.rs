@@ -1,0 +1,88 @@
+//! Shared experiment context: materialized traces + pipeline config,
+//! with a parallel suite runner.
+
+use pipeline::{simulate, PipelineConfig, SimReport, SuiteReport};
+use simkit::predictor::{Predictor, UpdateScenario};
+use workloads::suite::{suite, Scale};
+use workloads::Trace;
+
+/// Everything an experiment needs: the 40 generated traces and the
+/// pipeline model.
+pub struct ExpContext {
+    /// Trace scale in use.
+    pub scale: Scale,
+    /// The 40 materialized traces, in suite order.
+    pub traces: Vec<Trace>,
+    /// Pipeline configuration (in-flight window, core model).
+    pub cfg: PipelineConfig,
+}
+
+impl ExpContext {
+    /// Generates the full suite at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        let traces = suite(scale).iter().map(|s| s.generate()).collect();
+        Self { scale, traces, cfg: PipelineConfig::default() }
+    }
+
+    /// Runs a predictor (one cold instance per trace) over the whole
+    /// suite, in parallel across traces.
+    pub fn run<P, F>(&self, make: F, scenario: UpdateScenario) -> SuiteReport
+    where
+        P: Predictor + Send,
+        F: Fn() -> P + Sync,
+    {
+        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+        let reports: Vec<SimReport> = std::thread::scope(|s| {
+            let chunks: Vec<&[Trace]> = self
+                .traces
+                .chunks(self.traces.len().div_ceil(threads))
+                .collect();
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let make = &make;
+                    let cfg = &self.cfg;
+                    s.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|t| simulate(&mut make(), t, scenario, cfg))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        });
+        SuiteReport::new(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let ctx = ExpContext::new(Scale::Tiny);
+        let par = ctx.run(|| baselines::Gshare::new(12), UpdateScenario::RereadAtRetire);
+        let serial = SuiteReport::new(
+            ctx.traces
+                .iter()
+                .map(|t| {
+                    simulate(
+                        &mut baselines::Gshare::new(12),
+                        t,
+                        UpdateScenario::RereadAtRetire,
+                        &ctx.cfg,
+                    )
+                })
+                .collect(),
+        );
+        assert_eq!(par.total_mispredicts(), serial.total_mispredicts());
+        assert_eq!(par.reports.len(), 40);
+        // Order is preserved.
+        for (a, b) in par.reports.iter().zip(&serial.reports) {
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.mispredicts, b.mispredicts);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Predictor memory-array modeling: ports, bank interleaving, and an
+//! analytical area/energy cost model (§4.3, §7).
+//!
+//! Three predictor-table accesses per branch (read at fetch, read at
+//! retire, write at retire) would require 3-ported memories; §4 shows
+//! CACTI 6.5 puts a 3-port array at 3–4× the area and ~25–30 % more energy
+//! per access than a single-ported one. The paper's alternative: 4-way
+//! bank-interleaved single-ported arrays with a bank-selection rule that
+//! guarantees a prediction never touches the banks used by the two
+//! previous predictions, leaving every bank free two cycles out of three
+//! for updates.
+//!
+//! * [`banking::BankSelector`] — the §4.3 bank-selection algorithm;
+//! * [`banking::interleaved_index`] — index remapping (top index bits
+//!   replaced by the bank number — the source of the small accuracy loss:
+//!   one (PC, history) pair can train up to four distinct entries);
+//! * [`banking::ConflictModel`] — per-bank update queues implementing
+//!   "prediction has priority; write beats retire-read; updates wait at
+//!   most two cycles";
+//! * [`cost`] — the CACTI-6.5 substitute: analytical area and
+//!   energy-per-access estimates for ported vs banked arrays.
+
+pub mod banking;
+pub mod cost;
+
+pub use banking::{interleaved_index, BankSelector, ConflictModel};
+pub use cost::{access_energy, array_area, CostComparison};

@@ -1,0 +1,264 @@
+//! The in-flight window engine: delayed execute/retire and the §4.1.2
+//! update scenarios.
+//!
+//! Every conditional branch is predicted at fetch, extends the speculative
+//! history immediately (exact on the correct path, §5.1), *executes* after
+//! its resolution lag (when the IUM learns its outcome) and *retires* — in
+//! program order — `retire_lag` branches later, at which point the
+//! predictor tables are updated according to the chosen scenario.
+
+use crate::core_model::CoreModel;
+use crate::report::SimReport;
+use simkit::predictor::{Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+use std::collections::VecDeque;
+use workloads::event::Trace;
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Branches fetched between a branch's fetch and its in-order retire.
+    pub retire_lag: usize,
+    /// Core timing model (execute lags, penalties, caches).
+    pub core: CoreModel,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { retire_lag: 32, core: CoreModel::default() }
+    }
+}
+
+struct Inflight<F> {
+    branch: simkit::BranchInfo,
+    outcome: bool,
+    predicted: bool,
+    flight: F,
+    exec_at: usize,
+    retire_at: usize,
+    executed: bool,
+}
+
+/// Simulates one predictor over one trace under one update scenario.
+///
+/// Under [`UpdateScenario::Immediate`] the window is bypassed entirely
+/// (oracle fetch-time update); the other scenarios run the full in-flight
+/// window.
+pub fn simulate<P: Predictor>(
+    predictor: &mut P,
+    trace: &Trace,
+    scenario: UpdateScenario,
+    cfg: &PipelineConfig,
+) -> SimReport {
+    predictor.reset_stats();
+    let mut core = cfg.core.clone();
+    let mut window: VecDeque<Inflight<P::Flight>> = VecDeque::new();
+    let mut mispredicts = 0u64;
+    let mut penalty = 0u64;
+    let mut uops = 0u64;
+    let mut conditionals = 0u64;
+    let immediate = scenario == UpdateScenario::Immediate;
+
+    let mut fetch_index = 0usize;
+    for ev in &trace.events {
+        uops += ev.uops();
+        let b = ev.branch_info();
+        if !b.kind.is_conditional() {
+            predictor.note_uncond(&b);
+            continue;
+        }
+        conditionals += 1;
+        let (pred, mut flight) = predictor.predict(&b);
+        let (resolution, exec_lag) = core.resolve(ev.load_addr);
+        if pred != ev.taken {
+            mispredicts += 1;
+            penalty += core.mispredict_penalty(resolution);
+        }
+        predictor.fetch_commit(&b, ev.taken, &mut flight);
+
+        if immediate {
+            predictor.execute(&b, ev.taken, &mut flight);
+            predictor.retire(&b, ev.taken, pred, flight, scenario);
+        } else {
+            window.push_back(Inflight {
+                branch: b,
+                outcome: ev.taken,
+                predicted: pred,
+                flight,
+                exec_at: fetch_index + exec_lag,
+                retire_at: fetch_index + cfg.retire_lag.max(exec_lag + 1),
+                executed: false,
+            });
+            // Execute every branch whose resolution completed.
+            for inflight in window.iter_mut() {
+                if !inflight.executed && inflight.exec_at <= fetch_index {
+                    let ib = inflight.branch;
+                    let io = inflight.outcome;
+                    predictor.execute(&ib, io, &mut inflight.flight);
+                    inflight.executed = true;
+                }
+            }
+            // Retire in order.
+            while window.front().is_some_and(|f| f.retire_at <= fetch_index) {
+                let mut f = window.pop_front().unwrap();
+                if !f.executed {
+                    predictor.execute(&f.branch, f.outcome, &mut f.flight);
+                }
+                predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
+            }
+        }
+        fetch_index += 1;
+    }
+    // Drain the window at trace end.
+    while let Some(mut f) = window.pop_front() {
+        if !f.executed {
+            predictor.execute(&f.branch, f.outcome, &mut f.flight);
+        }
+        predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
+    }
+
+    SimReport {
+        trace: trace.name.clone(),
+        category: trace.category.clone(),
+        predictor: predictor.name(),
+        scenario,
+        uops,
+        conditionals,
+        mispredicts,
+        penalty_cycles: penalty,
+        stats: predictor.stats(),
+    }
+}
+
+/// Runs a freshly built predictor (from `make`) over every trace of a
+/// suite, returning one report per trace.
+///
+/// Each trace gets a *cold* predictor, as in CBP-3 (one simulation per
+/// trace).
+pub fn simulate_suite<P, F>(
+    make: F,
+    traces: &[Trace],
+    scenario: UpdateScenario,
+    cfg: &PipelineConfig,
+) -> Vec<SimReport>
+where
+    P: Predictor,
+    F: Fn() -> P,
+{
+    traces.iter().map(|t| simulate(&mut make(), t, scenario, cfg)).collect()
+}
+
+/// Convenience: merged access statistics over a set of reports.
+pub fn merged_stats(reports: &[SimReport]) -> AccessStats {
+    let mut s = AccessStats::default();
+    for r in reports {
+        s.merge(&r.stats);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{Bimodal, Gshare};
+    use workloads::suite::{by_name, Scale};
+
+    fn tiny(name: &str) -> Trace {
+        by_name(name, Scale::Tiny).unwrap().generate()
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let t = tiny("CLIENT01");
+        let mut p = Gshare::new(12);
+        let r = simulate(&mut p, &t, UpdateScenario::RereadAtRetire, &PipelineConfig::default());
+        assert_eq!(r.conditionals, t.conditional_count());
+        assert_eq!(r.uops, t.total_uops());
+        assert!(r.mispredicts <= r.conditionals);
+        assert!(r.penalty_cycles >= r.mispredicts * 25);
+        // One predict read per conditional.
+        assert_eq!(r.stats.predict_reads, r.conditionals);
+    }
+
+    #[test]
+    fn immediate_beats_delayed_scenarios_on_aggregate() {
+        // Pointwise per-trace inversions are possible (stale updates can
+        // act as accidental hysteresis); the §4.1.2 ordering is an
+        // aggregate claim — assert it over several traces.
+        let traces: Vec<Trace> =
+            ["CLIENT04", "CLIENT06", "MM04", "WS06"].iter().map(|n| tiny(n)).collect();
+        let run = |s| -> u64 {
+            traces
+                .iter()
+                .map(|t| {
+                    simulate(&mut Gshare::new(12), t, s, &PipelineConfig::default()).mispredicts
+                })
+                .sum()
+        };
+        let i = run(UpdateScenario::Immediate);
+        let a = run(UpdateScenario::RereadAtRetire);
+        let b = run(UpdateScenario::FetchOnly);
+        let c = run(UpdateScenario::RereadOnMispredict);
+        // [I] vs [A] can invert slightly on small noisy subsets (stale
+        // updates act as a slower, sometimes beneficial learning rate);
+        // the strict suite-wide ordering is asserted in the workspace
+        // integration tests. Allow 5% here.
+        assert!(i <= a + a / 20, "[I] {i} should not exceed [A] {a} by >5%");
+        assert!(a <= b, "[A] {a} should not exceed [B] {b}");
+        assert!(c <= b, "[C] {c} should not exceed [B] {b}");
+    }
+
+    #[test]
+    fn retire_reads_only_on_mispredicts_under_c() {
+        let t = tiny("WS01");
+        let mut p = Bimodal::new(4096, 2);
+        let r = simulate(&mut p, &t, UpdateScenario::RereadOnMispredict, &PipelineConfig::default());
+        assert_eq!(r.stats.retire_reads, r.mispredicts);
+        let mut p2 = Bimodal::new(4096, 2);
+        let r2 = simulate(&mut p2, &t, UpdateScenario::RereadAtRetire, &PipelineConfig::default());
+        assert_eq!(r2.stats.retire_reads, r2.conditionals);
+    }
+
+    #[test]
+    fn deterministic_simulation() {
+        let t = tiny("INT03");
+        let run = || {
+            let mut p = Gshare::new(12);
+            simulate(&mut p, &t, UpdateScenario::RereadAtRetire, &PipelineConfig::default())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.mispredicts, b.mispredicts);
+        assert_eq!(a.penalty_cycles, b.penalty_cycles);
+    }
+
+    #[test]
+    fn suite_runner_covers_all_traces() {
+        let traces: Vec<Trace> = ["MM01", "MM02"].iter().map(|n| tiny(n)).collect();
+        let reports = simulate_suite(
+            || Gshare::new(10),
+            &traces,
+            UpdateScenario::RereadAtRetire,
+            &PipelineConfig::default(),
+        );
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].trace, "MM01");
+        let merged = merged_stats(&reports);
+        assert_eq!(merged.predict_reads, reports.iter().map(|r| r.stats.predict_reads).sum::<u64>());
+    }
+
+    #[test]
+    fn hard_traces_have_higher_penalty_per_mispredict() {
+        let easy = tiny("MM01");
+        let hard = tiny("INT02");
+        let run = |t: &Trace| {
+            let mut p = Gshare::new(14);
+            let r = simulate(&mut p, t, UpdateScenario::RereadAtRetire, &PipelineConfig::default());
+            r.penalty_cycles as f64 / r.mispredicts.max(1) as f64
+        };
+        assert!(
+            run(&hard) > run(&easy),
+            "cold-data traces should pay more per misprediction"
+        );
+    }
+}

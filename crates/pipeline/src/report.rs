@@ -1,0 +1,224 @@
+//! Simulation results: per-trace reports and suite aggregation.
+//!
+//! The §2.1 metric is MPPKI — Misprediction Penalty Per Kilo Instructions.
+//! Suite-level scores are arithmetic means over the 40 traces (consistent
+//! with the paper's group arithmetic: 568 ≈ (33·196 + 7·2311)/40).
+
+use simkit::predictor::UpdateScenario;
+use simkit::stats::AccessStats;
+
+/// Result of simulating one predictor over one trace.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Trace name.
+    pub trace: String,
+    /// Trace category.
+    pub category: String,
+    /// Predictor name.
+    pub predictor: String,
+    /// Update scenario simulated.
+    pub scenario: UpdateScenario,
+    /// Total micro-ops.
+    pub uops: u64,
+    /// Conditional branches predicted.
+    pub conditionals: u64,
+    /// Mispredictions.
+    pub mispredicts: u64,
+    /// Total misprediction penalty cycles.
+    pub penalty_cycles: u64,
+    /// Predictor-table access counters.
+    pub stats: AccessStats,
+}
+
+impl SimReport {
+    /// Mispredictions per kilo micro-op.
+    pub fn mpki(&self) -> f64 {
+        self.mispredicts as f64 * 1000.0 / self.uops.max(1) as f64
+    }
+
+    /// Misprediction penalty per kilo micro-op (the paper's metric).
+    pub fn mppki(&self) -> f64 {
+        self.penalty_cycles as f64 * 1000.0 / self.uops.max(1) as f64
+    }
+
+    /// Misprediction rate over conditional branches.
+    pub fn mispredict_rate(&self) -> f64 {
+        self.mispredicts as f64 / self.conditionals.max(1) as f64
+    }
+
+    /// Effective writes per misprediction (§4.1.1).
+    pub fn writes_per_mispredict(&self) -> f64 {
+        self.stats.effective_writes as f64 / self.mispredicts.max(1) as f64
+    }
+
+    /// Effective writes per 100 retired conditional branches (§4.1.1).
+    pub fn writes_per_100_branches(&self) -> f64 {
+        self.stats.effective_writes as f64 * 100.0 / self.conditionals.max(1) as f64
+    }
+
+    /// Total predictor accesses per retired conditional branch (§4.2).
+    pub fn accesses_per_branch(&self) -> f64 {
+        self.stats.total_accesses() as f64 / self.conditionals.max(1) as f64
+    }
+}
+
+/// Aggregated results of a predictor over a trace suite.
+#[derive(Clone, Debug)]
+pub struct SuiteReport {
+    /// One report per trace, in suite order.
+    pub reports: Vec<SimReport>,
+}
+
+impl SuiteReport {
+    /// Wraps per-trace reports.
+    pub fn new(reports: Vec<SimReport>) -> Self {
+        Self { reports }
+    }
+
+    /// Suite MPPKI: arithmetic mean over traces.
+    pub fn mppki(&self) -> f64 {
+        mean(self.reports.iter().map(SimReport::mppki))
+    }
+
+    /// Suite MPKI: arithmetic mean over traces.
+    pub fn mpki(&self) -> f64 {
+        mean(self.reports.iter().map(SimReport::mpki))
+    }
+
+    /// Total mispredictions across the suite.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.reports.iter().map(|r| r.mispredicts).sum()
+    }
+
+    /// Mean MPPKI over the traces whose names appear in `names`.
+    pub fn mppki_of(&self, names: &[&str]) -> f64 {
+        mean(self.reports.iter().filter(|r| names.contains(&r.trace.as_str())).map(SimReport::mppki))
+    }
+
+    /// Mean MPPKI over the traces whose names do *not* appear in `names`.
+    pub fn mppki_excluding(&self, names: &[&str]) -> f64 {
+        mean(
+            self.reports
+                .iter()
+                .filter(|r| !names.contains(&r.trace.as_str()))
+                .map(SimReport::mppki),
+        )
+    }
+
+    /// Fraction of suite mispredictions contributed by the named traces.
+    pub fn mispredict_share(&self, names: &[&str]) -> f64 {
+        let total = self.total_mispredicts().max(1);
+        let subset: u64 = self
+            .reports
+            .iter()
+            .filter(|r| names.contains(&r.trace.as_str()))
+            .map(|r| r.mispredicts)
+            .sum();
+        subset as f64 / total as f64
+    }
+
+    /// Suite-level effective writes per misprediction.
+    pub fn writes_per_mispredict(&self) -> f64 {
+        let w: u64 = self.reports.iter().map(|r| r.stats.effective_writes).sum();
+        let m: u64 = self.reports.iter().map(|r| r.mispredicts).sum();
+        w as f64 / m.max(1) as f64
+    }
+
+    /// Suite-level effective writes per 100 retired conditional branches.
+    pub fn writes_per_100_branches(&self) -> f64 {
+        let w: u64 = self.reports.iter().map(|r| r.stats.effective_writes).sum();
+        let c: u64 = self.reports.iter().map(|r| r.conditionals).sum();
+        w as f64 * 100.0 / c.max(1) as f64
+    }
+
+    /// Suite-level accesses per retired conditional branch (§4.2).
+    pub fn accesses_per_branch(&self) -> f64 {
+        let a: u64 = self.reports.iter().map(|r| r.stats.total_accesses()).sum();
+        let c: u64 = self.reports.iter().map(|r| r.conditionals).sum();
+        a as f64 / c.max(1) as f64
+    }
+
+    /// Suite-level silent-write fraction.
+    pub fn silent_fraction(&self) -> f64 {
+        let mut s = AccessStats::default();
+        for r in &self.reports {
+            s.merge(&r.stats);
+        }
+        s.silent_fraction()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(trace: &str, mispredicts: u64, penalty: u64) -> SimReport {
+        SimReport {
+            trace: trace.to_string(),
+            category: "TEST".to_string(),
+            predictor: "p".to_string(),
+            scenario: UpdateScenario::RereadAtRetire,
+            uops: 1_000_000,
+            conditionals: 100_000,
+            mispredicts,
+            penalty_cycles: penalty,
+            stats: AccessStats {
+                predict_reads: 100_000,
+                retire_reads: mispredicts,
+                effective_writes: mispredicts * 2,
+                silent_writes_avoided: 50_000,
+            },
+        }
+    }
+
+    #[test]
+    fn per_trace_metrics() {
+        let r = report("A", 5_000, 150_000);
+        assert!((r.mpki() - 5.0).abs() < 1e-9);
+        assert!((r.mppki() - 150.0).abs() < 1e-9);
+        assert!((r.mispredict_rate() - 0.05).abs() < 1e-9);
+        assert!((r.writes_per_mispredict() - 2.0).abs() < 1e-9);
+        assert!((r.writes_per_100_branches() - 10.0).abs() < 1e-9);
+        // 100_000 + 5_000 + 10_000 accesses over 100_000 branches.
+        assert!((r.accesses_per_branch() - 1.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn suite_mean_matches_paper_arithmetic() {
+        // Shape check on the aggregation rule: (33·196 + 7·2311)/40 ≈ 566.
+        let mut reports = Vec::new();
+        for i in 0..33 {
+            reports.push(report(&format!("E{i}"), 100, 196_000));
+        }
+        for i in 0..7 {
+            reports.push(report(&format!("H{i}"), 10_000, 2_311_000));
+        }
+        let s = SuiteReport::new(reports);
+        assert!((s.mppki() - 566.125).abs() < 0.01);
+        let hard: Vec<&str> = (0..7).map(|i| Box::leak(format!("H{i}").into_boxed_str()) as &str).collect();
+        assert!((s.mppki_of(&hard) - 2311.0).abs() < 1e-6);
+        assert!((s.mppki_excluding(&hard) - 196.0).abs() < 1e-6);
+        assert!(s.mispredict_share(&hard) > 0.9);
+    }
+
+    #[test]
+    fn empty_suite_is_zero() {
+        let s = SuiteReport::new(vec![]);
+        assert_eq!(s.mppki(), 0.0);
+        assert_eq!(s.total_mispredicts(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Tiny bit-manipulation helpers shared by table indexing code.
+
+/// Returns a mask with the low `n` bits set.
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(simkit::bits::mask(4), 0xF);
+/// assert_eq!(simkit::bits::mask(0), 0);
+/// assert_eq!(simkit::bits::mask(64), u64::MAX);
+/// ```
+#[inline]
+pub fn mask(n: u32) -> u64 {
+    assert!(n <= 64, "mask width {n} exceeds 64 bits");
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `x` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(simkit::bits::log2(4096), 12);
+/// ```
+#[inline]
+pub fn log2(x: u64) -> u32 {
+    assert!(x.is_power_of_two(), "{x} is not a power of two");
+    x.trailing_zeros()
+}
+
+/// Folds a 64-bit value down to `width` bits by repeated XOR of
+/// `width`-bit chunks. Used to mix PC bits into small table indices.
+///
+/// # Example
+///
+/// ```
+/// let f = simkit::bits::fold_xor(0xDEAD_BEEF_1234_5678, 12);
+/// assert!(f < (1 << 12));
+/// ```
+#[inline]
+pub fn fold_xor(mut v: u64, width: u32) -> u64 {
+    assert!(width > 0 && width <= 64);
+    let m = mask(width);
+    let mut out = 0u64;
+    while v != 0 {
+        out ^= v & m;
+        v >>= width;
+    }
+    out
+}
+
+/// Number of bits needed to store values `0..n` (ceil log2), minimum 1.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(simkit::bits::bits_for(1024), 10);
+/// assert_eq!(simkit::bits::bits_for(1000), 10);
+/// assert_eq!(simkit::bits::bits_for(1), 1);
+/// ```
+#[inline]
+pub fn bits_for(n: u64) -> u32 {
+    if n <= 2 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xFF);
+        assert_eq!(mask(63), u64::MAX >> 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mask_too_wide_panics() {
+        let _ = mask(65);
+    }
+
+    #[test]
+    fn log2_powers() {
+        for i in 0..63 {
+            assert_eq!(log2(1u64 << i), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn log2_non_power_panics() {
+        let _ = log2(12);
+    }
+
+    #[test]
+    fn fold_stays_in_range() {
+        for w in 1..=16 {
+            for v in [0u64, 1, 0xFFFF_FFFF, u64::MAX, 0x0123_4567_89AB_CDEF] {
+                assert!(fold_xor(v, w) <= mask(w));
+            }
+        }
+    }
+
+    #[test]
+    fn fold_identity_below_width() {
+        assert_eq!(fold_xor(0x3A, 8), 0x3A);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(4096), 12);
+    }
+}

@@ -1,0 +1,358 @@
+//! Saturating counters — the universal state element of branch predictors.
+//!
+//! Two flavours are provided:
+//!
+//! * [`SignedCounter`] — an n-bit two's-complement counter in
+//!   `[-2^(n-1), 2^(n-1)-1]`; its *sign* provides the prediction
+//!   (`>= 0` ⇒ taken). TAGE's 3-bit `ctr`, GEHL's 5-bit weights and the
+//!   statistical corrector's 6-bit counters are all `SignedCounter`s.
+//! * [`UnsignedCounter`] — an n-bit counter in `[0, 2^n-1]`; the MSB
+//!   provides the prediction. Bimodal/gshare 2-bit counters, confidence
+//!   and age counters use this flavour.
+
+use std::fmt;
+
+/// An n-bit saturating signed counter, `1 <= n <= 16`.
+///
+/// The prediction convention follows the paper: the counter predicts *taken*
+/// when its value is non-negative (the "sign provides the prediction").
+///
+/// # Example
+///
+/// ```
+/// use simkit::counter::SignedCounter;
+///
+/// let mut c = SignedCounter::new(3);
+/// assert_eq!(c.get(), 0);
+/// for _ in 0..10 { c.increment(); }
+/// assert_eq!(c.get(), 3); // saturates at 2^(3-1) - 1
+/// for _ in 0..20 { c.decrement(); }
+/// assert_eq!(c.get(), -4); // saturates at -2^(3-1)
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignedCounter {
+    value: i16,
+    bits: u8,
+}
+
+impl SignedCounter {
+    /// Creates a counter of `bits` width initialized to zero (weakly taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=16).contains(&bits), "signed counter width {bits} out of range");
+        Self { value: 0, bits }
+    }
+
+    /// Creates a counter initialized to `value`, clamped to the legal range.
+    pub fn with_value(bits: u8, value: i16) -> Self {
+        let mut c = Self::new(bits);
+        c.set(value);
+        c
+    }
+
+    /// Maximum representable value, `2^(bits-1) - 1`.
+    #[inline]
+    pub fn max(&self) -> i16 {
+        (1i16 << (self.bits - 1)) - 1
+    }
+
+    /// Minimum representable value, `-2^(bits-1)`.
+    #[inline]
+    pub fn min(&self) -> i16 {
+        -(1i16 << (self.bits - 1))
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i16 {
+        self.value
+    }
+
+    /// Sets the value, clamping into range.
+    #[inline]
+    pub fn set(&mut self, v: i16) {
+        self.value = v.clamp(self.min(), self.max());
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > self.min() {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter toward `taken` by one step.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.increment()
+        } else {
+            self.decrement()
+        }
+    }
+
+    /// The prediction: taken iff the value is non-negative.
+    #[inline]
+    pub fn is_taken(&self) -> bool {
+        self.value >= 0
+    }
+
+    /// True when the counter holds a *weak* prediction (0 or -1), i.e. the
+    /// two central values. TAGE uses this to decide whether to trust the
+    /// alternate prediction.
+    #[inline]
+    pub fn is_weak(&self) -> bool {
+        self.value == 0 || self.value == -1
+    }
+
+    /// The *centered* value `2c + 1` used by GEHL-style adder trees; it is
+    /// symmetric around zero and never zero itself.
+    #[inline]
+    pub fn centered(&self) -> i32 {
+        2 * i32::from(self.value) + 1
+    }
+}
+
+impl fmt::Debug for SignedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SignedCounter({}/{}b)", self.value, self.bits)
+    }
+}
+
+/// An n-bit saturating unsigned counter, `1 <= n <= 16`.
+///
+/// Predicts *taken* when the value is in the upper half of its range
+/// (MSB set), the classic 2-bit bimodal convention.
+///
+/// # Example
+///
+/// ```
+/// use simkit::counter::UnsignedCounter;
+///
+/// let mut c = UnsignedCounter::new(2); // 0..=3, starts at 1 (weakly not-taken)
+/// assert!(!c.is_taken());
+/// c.increment();
+/// assert!(c.is_taken());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnsignedCounter {
+    value: u16,
+    bits: u8,
+}
+
+impl UnsignedCounter {
+    /// Creates a counter of `bits` width initialized just below the taken
+    /// threshold (weakly not-taken), e.g. 1 for a 2-bit counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=16).contains(&bits), "unsigned counter width {bits} out of range");
+        let value = if bits == 1 { 0 } else { (1u16 << (bits - 1)) - 1 };
+        Self { value, bits }
+    }
+
+    /// Creates a counter initialized to `value`, clamped to the legal range.
+    pub fn with_value(bits: u8, value: u16) -> Self {
+        let mut c = Self::new(bits);
+        c.set(value);
+        c
+    }
+
+    /// Maximum representable value, `2^bits - 1`.
+    #[inline]
+    pub fn max(&self) -> u16 {
+        if self.bits == 16 {
+            u16::MAX
+        } else {
+            (1u16 << self.bits) - 1
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u16 {
+        self.value
+    }
+
+    /// Sets the value, clamping into range.
+    #[inline]
+    pub fn set(&mut self, v: u16) {
+        self.value = v.min(self.max());
+    }
+
+    /// Width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Saturating increment.
+    #[inline]
+    pub fn increment(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    #[inline]
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Moves the counter toward `taken` by one step.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            self.increment()
+        } else {
+            self.decrement()
+        }
+    }
+
+    /// The prediction: taken iff the MSB is set.
+    #[inline]
+    pub fn is_taken(&self) -> bool {
+        self.value >= (1u16 << (self.bits - 1))
+    }
+
+    /// True when saturated at either extreme.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value == 0 || self.value == self.max()
+    }
+}
+
+impl fmt::Debug for UnsignedCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UnsignedCounter({}/{}b)", self.value, self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_saturation_bounds() {
+        for bits in 1..=8u8 {
+            let mut c = SignedCounter::new(bits);
+            for _ in 0..300 {
+                c.increment();
+            }
+            assert_eq!(c.get(), c.max());
+            for _ in 0..600 {
+                c.decrement();
+            }
+            assert_eq!(c.get(), c.min());
+        }
+    }
+
+    #[test]
+    fn signed_weak_detection() {
+        let mut c = SignedCounter::new(3);
+        assert!(c.is_weak());
+        c.decrement();
+        assert!(c.is_weak());
+        c.decrement();
+        assert!(!c.is_weak());
+        c.set(1);
+        assert!(!c.is_weak());
+    }
+
+    #[test]
+    fn signed_centered_never_zero() {
+        let c3 = SignedCounter::new(6);
+        for v in c3.min()..=c3.max() {
+            let c = SignedCounter::with_value(6, v);
+            assert_ne!(c.centered(), 0);
+            assert_eq!(c.centered() >= 0, c.is_taken());
+        }
+    }
+
+    #[test]
+    fn signed_set_clamps() {
+        let mut c = SignedCounter::new(3);
+        c.set(100);
+        assert_eq!(c.get(), 3);
+        c.set(-100);
+        assert_eq!(c.get(), -4);
+    }
+
+    #[test]
+    fn unsigned_init_weakly_not_taken() {
+        let c = UnsignedCounter::new(2);
+        assert_eq!(c.get(), 1);
+        assert!(!c.is_taken());
+        let c3 = UnsignedCounter::new(3);
+        assert_eq!(c3.get(), 3);
+        assert!(!c3.is_taken());
+    }
+
+    #[test]
+    fn unsigned_saturation() {
+        let mut c = UnsignedCounter::new(2);
+        for _ in 0..10 {
+            c.increment();
+        }
+        assert_eq!(c.get(), 3);
+        assert!(c.is_saturated());
+        for _ in 0..10 {
+            c.decrement();
+        }
+        assert_eq!(c.get(), 0);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn unsigned_taken_threshold() {
+        let mut c = UnsignedCounter::with_value(2, 1);
+        assert!(!c.is_taken());
+        c.increment();
+        assert!(c.is_taken());
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn one_bit_counters() {
+        let mut s = SignedCounter::new(1);
+        assert_eq!((s.min(), s.max()), (-1, 0));
+        s.update(true);
+        assert!(s.is_taken());
+        s.update(false);
+        assert!(!s.is_taken());
+
+        let mut u = UnsignedCounter::new(1);
+        assert!(!u.is_taken());
+        u.update(true);
+        assert!(u.is_taken());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_panics() {
+        let _ = SignedCounter::new(0);
+    }
+}

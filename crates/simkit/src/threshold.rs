@@ -1,0 +1,134 @@
+//! GEHL-style dynamic threshold adaptation.
+//!
+//! The O-GEHL predictor trains its adder tree whenever the prediction is
+//! wrong *or* the summed magnitude is below an update threshold θ, and
+//! adapts θ at run time so that roughly as many updates come from each
+//! cause. The paper reuses the same technique for the statistical
+//! corrector's *revert* threshold (§5.3: "The dynamic threshold is adjusted
+//! at run-time… similar to the technique proposed for dynamically adapting
+//! the update threshold of the GEHL predictor").
+
+use crate::counter::SignedCounter;
+
+/// A self-adjusting threshold on the magnitude of an adder-tree sum.
+///
+/// # Example
+///
+/// ```
+/// use simkit::threshold::AdaptiveThreshold;
+///
+/// let mut th = AdaptiveThreshold::new(8, 1, 63);
+/// // Many mispredictions at low magnitude push the threshold up.
+/// for _ in 0..2000 { th.on_event(true, true); }
+/// assert!(th.value() > 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaptiveThreshold {
+    threshold: i32,
+    tc: SignedCounter,
+    min: i32,
+    max: i32,
+}
+
+impl AdaptiveThreshold {
+    /// Creates a threshold starting at `initial`, clamped to `[min, max]`
+    /// for all time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(initial: i32, min: i32, max: i32) -> Self {
+        assert!(min <= max, "threshold bounds inverted");
+        Self { threshold: initial.clamp(min, max), tc: SignedCounter::new(7), min, max }
+    }
+
+    /// Current threshold value.
+    #[inline]
+    pub fn value(&self) -> i32 {
+        self.threshold
+    }
+
+    /// Records a training event.
+    ///
+    /// * `mispredicted` — the adder-tree's final decision was wrong;
+    /// * `low_confidence` — |sum| was at or below the current threshold.
+    ///
+    /// Following O-GEHL: mispredictions push the threshold up (train more),
+    /// correct-but-low-confidence events push it down (train less), with a
+    /// 7-bit hysteresis counter so θ moves slowly.
+    pub fn on_event(&mut self, mispredicted: bool, low_confidence: bool) {
+        if mispredicted {
+            self.tc.increment();
+            if self.tc.get() == self.tc.max() {
+                if self.threshold < self.max {
+                    self.threshold += 1;
+                }
+                self.tc.set(0);
+            }
+        } else if low_confidence {
+            self.tc.decrement();
+            if self.tc.get() == self.tc.min() {
+                if self.threshold > self.min {
+                    self.threshold -= 1;
+                }
+                self.tc.set(0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clamped() {
+        assert_eq!(AdaptiveThreshold::new(100, 1, 63).value(), 63);
+        assert_eq!(AdaptiveThreshold::new(-5, 1, 63).value(), 1);
+    }
+
+    #[test]
+    fn mispredictions_raise() {
+        let mut th = AdaptiveThreshold::new(10, 1, 63);
+        for _ in 0..10_000 {
+            th.on_event(true, false);
+        }
+        assert!(th.value() > 10);
+        assert!(th.value() <= 63);
+    }
+
+    #[test]
+    fn low_confidence_correct_lowers() {
+        let mut th = AdaptiveThreshold::new(10, 1, 63);
+        for _ in 0..10_000 {
+            th.on_event(false, true);
+        }
+        assert!(th.value() < 10);
+        assert!(th.value() >= 1);
+    }
+
+    #[test]
+    fn balanced_events_hold_steady() {
+        let mut th = AdaptiveThreshold::new(10, 1, 63);
+        for _ in 0..5_000 {
+            th.on_event(true, false);
+            th.on_event(false, true);
+        }
+        assert!((8..=12).contains(&th.value()), "threshold drifted to {}", th.value());
+    }
+
+    #[test]
+    fn neutral_events_do_nothing() {
+        let mut th = AdaptiveThreshold::new(10, 1, 63);
+        for _ in 0..10_000 {
+            th.on_event(false, false);
+        }
+        assert_eq!(th.value(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_bounds_panic() {
+        let _ = AdaptiveThreshold::new(5, 10, 1);
+    }
+}

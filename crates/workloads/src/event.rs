@@ -1,0 +1,120 @@
+//! Trace event and trace container types.
+
+use serde::{Deserialize, Serialize};
+use simkit::predictor::{BranchInfo, BranchKind};
+
+/// One dynamic control-flow event of a trace, together with the
+/// micro-architectural context the penalty model needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Branch instruction address.
+    pub pc: u64,
+    /// Branch class (only `Conditional` events are predicted).
+    pub kind: BranchKind,
+    /// Resolved direction (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// Branch target address.
+    pub target: u64,
+    /// Non-branch micro-ops retired since the previous event (the
+    /// denominator of MPPKI counts these plus the branch itself).
+    pub uops_before: u16,
+    /// Address of a load this branch's condition depends on, if any.
+    /// The core model walks it through the cache hierarchy to derive the
+    /// branch resolution latency (hard traces resolve late, as in CBP-3).
+    pub load_addr: Option<u64>,
+}
+
+impl TraceEvent {
+    /// The [`BranchInfo`] view handed to predictors.
+    #[inline]
+    pub fn branch_info(&self) -> BranchInfo {
+        BranchInfo { pc: self.pc, kind: self.kind, target: self.target }
+    }
+
+    /// Micro-ops this event accounts for (its padding plus itself).
+    #[inline]
+    pub fn uops(&self) -> u64 {
+        u64::from(self.uops_before) + 1
+    }
+}
+
+/// A fully materialized trace: a named, reproducible event sequence.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Trace name, e.g. `"CLIENT02"`.
+    pub name: String,
+    /// Category name, e.g. `"CLIENT"`.
+    pub category: String,
+    /// The event stream.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Total micro-op count (branches + padding micro-ops).
+    pub fn total_uops(&self) -> u64 {
+        self.events.iter().map(TraceEvent::uops).sum()
+    }
+
+    /// Number of conditional branch events.
+    pub fn conditional_count(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind.is_conditional()).count() as u64
+    }
+
+    /// Number of distinct static conditional branch PCs.
+    pub fn static_conditional_count(&self) -> usize {
+        let mut pcs: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.is_conditional())
+            .map(|e| e.pc)
+            .collect();
+        pcs.sort_unstable();
+        pcs.dedup();
+        pcs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(pc: u64, taken: bool, uops: u16) -> TraceEvent {
+        TraceEvent {
+            pc,
+            kind: BranchKind::Conditional,
+            taken,
+            target: pc + 8,
+            uops_before: uops,
+            load_addr: None,
+        }
+    }
+
+    #[test]
+    fn uop_accounting() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: vec![ev(4, true, 3), ev(8, false, 0)],
+        };
+        assert_eq!(t.total_uops(), 5);
+        assert_eq!(t.conditional_count(), 2);
+    }
+
+    #[test]
+    fn static_counts_dedup() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: vec![ev(4, true, 0), ev(4, false, 0), ev(12, true, 0)],
+        };
+        assert_eq!(t.static_conditional_count(), 2);
+    }
+
+    #[test]
+    fn branch_info_view() {
+        let e = ev(0x100, true, 2);
+        let b = e.branch_info();
+        assert_eq!(b.pc, 0x100);
+        assert!(b.kind.is_conditional());
+    }
+}

@@ -1,0 +1,177 @@
+//! Compact binary (de)serialization of traces.
+//!
+//! Traces are normally regenerated from seeds, but persisting them is useful
+//! for debugging and for feeding the same stream to external tools. The
+//! format is a tiny custom codec (magic + version + varint-free fixed-width
+//! records) so the repository needs no serialization-format dependency.
+
+use crate::event::{Trace, TraceEvent};
+use simkit::predictor::BranchKind;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"TAGETRC1";
+
+fn kind_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::DirectJump => 1,
+        BranchKind::IndirectJump => 2,
+        BranchKind::Call => 3,
+        BranchKind::Return => 4,
+    }
+}
+
+fn code_kind(c: u8) -> io::Result<BranchKind> {
+    Ok(match c {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::DirectJump,
+        2 => BranchKind::IndirectJump,
+        3 => BranchKind::Call,
+        4 => BranchKind::Return,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid branch kind code {other}"),
+            ))
+        }
+    })
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    w.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 1 << 20 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "string too long"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a trace to `w`.
+///
+/// # Errors
+///
+/// Returns any I/O error from the underlying writer.
+pub fn write_trace<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_str(w, &trace.name)?;
+    write_str(w, &trace.category)?;
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    for e in &trace.events {
+        w.write_all(&e.pc.to_le_bytes())?;
+        w.write_all(&e.target.to_le_bytes())?;
+        w.write_all(&[kind_code(e.kind), e.taken as u8])?;
+        w.write_all(&e.uops_before.to_le_bytes())?;
+        match e.load_addr {
+            Some(addr) => {
+                w.write_all(&[1])?;
+                w.write_all(&addr.to_le_bytes())?;
+            }
+            None => w.write_all(&[0])?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic/energy header or corrupt records,
+/// and any I/O error from the underlying reader.
+pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let name = read_str(r)?;
+    let category = read_str(r)?;
+    let mut n = [0u8; 8];
+    r.read_exact(&mut n)?;
+    let n = u64::from_le_bytes(n) as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        let mut pc = [0u8; 8];
+        let mut target = [0u8; 8];
+        let mut flags = [0u8; 2];
+        let mut uops = [0u8; 2];
+        r.read_exact(&mut pc)?;
+        r.read_exact(&mut target)?;
+        r.read_exact(&mut flags)?;
+        r.read_exact(&mut uops)?;
+        let mut has_load = [0u8; 1];
+        r.read_exact(&mut has_load)?;
+        let load_addr = if has_load[0] == 1 {
+            let mut addr = [0u8; 8];
+            r.read_exact(&mut addr)?;
+            Some(u64::from_le_bytes(addr))
+        } else if has_load[0] == 0 {
+            None
+        } else {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad load flag"));
+        };
+        events.push(TraceEvent {
+            pc: u64::from_le_bytes(pc),
+            target: u64::from_le_bytes(target),
+            kind: code_kind(flags[0])?,
+            taken: flags[1] != 0,
+            uops_before: u16::from_le_bytes(uops),
+            load_addr,
+        });
+    }
+    Ok(Trace { name, category, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{by_name, Scale};
+
+    #[test]
+    fn round_trip() {
+        let t = by_name("SERVER03", Scale::Tiny).unwrap().generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        let back = read_trace(&mut buf.as_slice()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let buf = b"NOTATRACE_______".to_vec();
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let t = by_name("WS01", Scale::Tiny).unwrap().generate();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_kind_code() {
+        let t = Trace { name: "x".into(), category: "X".into(), events: vec![] };
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).unwrap();
+        // Claim one event, then provide a record with kind code 9.
+        let len_pos = buf.len() - 8;
+        buf[len_pos..].copy_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]); // pc + target
+        buf.extend_from_slice(&[9, 0]); // bad kind
+        buf.extend_from_slice(&[0u8; 2]); // uops
+        buf.extend_from_slice(&[0]); // no load
+        assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+}

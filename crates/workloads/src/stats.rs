@@ -1,0 +1,84 @@
+//! Trace characterization statistics (the §2.2 table).
+
+use crate::event::Trace;
+
+/// Summary statistics of one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceStats {
+    /// Trace name.
+    pub name: String,
+    /// Total micro-ops.
+    pub uops: u64,
+    /// Dynamic conditional branches.
+    pub conditionals: u64,
+    /// Dynamic unconditional control transfers.
+    pub unconditionals: u64,
+    /// Distinct static conditional branch PCs.
+    pub static_conditionals: usize,
+    /// Fraction of conditional branches taken.
+    pub taken_rate: f64,
+    /// Fraction of events with a load dependence.
+    pub load_rate: f64,
+}
+
+impl TraceStats {
+    /// Computes statistics for a trace.
+    pub fn of(trace: &Trace) -> Self {
+        let conditionals = trace.conditional_count();
+        let unconditionals = trace.events.len() as u64 - conditionals;
+        let taken = trace
+            .events
+            .iter()
+            .filter(|e| e.kind.is_conditional() && e.taken)
+            .count() as u64;
+        let loads = trace.events.iter().filter(|e| e.load_addr.is_some()).count() as u64;
+        Self {
+            name: trace.name.clone(),
+            uops: trace.total_uops(),
+            conditionals,
+            unconditionals,
+            static_conditionals: trace.static_conditional_count(),
+            taken_rate: if conditionals == 0 { 0.0 } else { taken as f64 / conditionals as f64 },
+            load_rate: if trace.events.is_empty() {
+                0.0
+            } else {
+                loads as f64 / trace.events.len() as f64
+            },
+        }
+    }
+
+    /// Conditional branches per kilo-µop.
+    pub fn branches_per_kuop(&self) -> f64 {
+        if self.uops == 0 {
+            0.0
+        } else {
+            self.conditionals as f64 * 1000.0 / self.uops as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{by_name, Scale};
+
+    #[test]
+    fn stats_consistency() {
+        let t = by_name("CLIENT01", Scale::Tiny).unwrap().generate();
+        let s = TraceStats::of(&t);
+        assert_eq!(s.conditionals, Scale::Tiny.branches() as u64);
+        assert!(s.uops > s.conditionals);
+        assert!((0.0..=1.0).contains(&s.taken_rate));
+        assert!((0.0..=1.0).contains(&s.load_rate));
+        assert!(s.branches_per_kuop() > 0.0);
+    }
+
+    #[test]
+    fn taken_rate_reasonable() {
+        // Typical programs are taken-biased or near half; our synthetic mix
+        // should land in a broad sane band.
+        let t = by_name("INT04", Scale::Tiny).unwrap().generate();
+        let s = TraceStats::of(&t);
+        assert!((0.3..=0.95).contains(&s.taken_rate), "taken rate {}", s.taken_rate);
+    }
+}

@@ -1,0 +1,54 @@
+//! The §6 motivation: branches only predictable from *local* history.
+//!
+//! Builds a workload where a periodic branch is interleaved with noisy
+//! branches — its global history is effectively random, its local history
+//! perfectly periodic — and compares TAGE, ISL-TAGE and TAGE-LSC.
+//!
+//! ```text
+//! cargo run --release --example local_history
+//! ```
+
+use pipeline::{simulate, PipelineConfig};
+use simkit::{Predictor, UpdateScenario};
+use tage::TageSystem;
+use workloads::behavior::Behavior;
+use workloads::program::{LoadModel, Node, PcAlloc, Program, Site};
+use workloads::Trace;
+
+fn build_trace() -> Trace {
+    let mut a = PcAlloc::new(0x40_0000);
+    let mut rng = simkit::rng::Xoshiro256::seed_from(0xBEEF);
+    let pattern: Vec<bool> = (0..29).map(|_| rng.gen_bool(0.5)).collect();
+    Program {
+        name: "local-pattern".into(),
+        category: "EXAMPLE".into(),
+        seed: 0xBEEF,
+        root: Node::Seq(vec![
+            // The star of the show: period-29, trivially local-predictable.
+            Node::Site(Site::new(a.pc(), Behavior::Pattern { pattern, pos: 0 })),
+            // Enough noise that every global history window is unique.
+            Node::Site(Site::new(a.pc(), Behavior::Random)),
+            Node::Site(Site::new(a.pc(), Behavior::Random)),
+            Node::Site(Site::new(a.pc(), Behavior::Bias { p: 0.7 })),
+        ]),
+        loads: LoadModel::default(),
+    }
+    .generate(80_000)
+}
+
+fn main() {
+    let trace = build_trace();
+    let cfg = PipelineConfig::default();
+    let scenario = UpdateScenario::RereadAtRetire;
+    println!("one period-29 branch drowned in noise, {} branches total\n", trace.conditional_count());
+    println!("{:<34} {:>8} {:>8}", "predictor", "MPKI", "mispred");
+    for mut p in [TageSystem::reference_tage(), TageSystem::isl_tage(), TageSystem::tage_lsc()] {
+        let name = p.name();
+        let r = simulate(&mut p, &trace, scenario, &cfg);
+        println!("{:<34} {:>8.2} {:>8}", name, r.mpki(), r.mispredicts);
+    }
+    println!("\nTAGE cannot memorize the pattern (every occurrence has a fresh");
+    println!("global history); the global SC of ISL-TAGE cannot either. The");
+    println!("local statistical corrector reads the branch's own last 31");
+    println!("outcomes — where the pattern is in plain sight (§6).");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build the paper's predictors, run them on one trace, and
+//! compare accuracy.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pipeline::{simulate, PipelineConfig};
+use simkit::{Predictor, UpdateScenario};
+use tage::TageSystem;
+use workloads::suite::{by_name, Scale};
+
+fn main() {
+    // A medium-difficulty trace from the synthetic CBP-3-like suite.
+    let trace = by_name("CLIENT03", Scale::Small).expect("known trace").generate();
+    println!(
+        "trace {}: {} conditional branches, {} µops",
+        trace.name,
+        trace.conditional_count(),
+        trace.total_uops()
+    );
+
+    let cfg = PipelineConfig::default();
+    let scenario = UpdateScenario::RereadAtRetire; // the paper's baseline [A]
+
+    println!(
+        "\n{:<28} {:>9} {:>8} {:>8} {:>9}",
+        "predictor", "storage", "MPKI", "MPPKI", "mispred"
+    );
+    // The three headline predictors of the paper at the same budget class.
+    for mut p in [TageSystem::reference_tage(), TageSystem::isl_tage(), TageSystem::tage_lsc()] {
+        let name = p.name();
+        let kbit = p.storage_bits() / 1024;
+        let report = simulate(&mut p, &trace, scenario, &cfg);
+        println!(
+            "{:<28} {:>8}K {:>8.2} {:>8.1} {:>9}",
+            name,
+            kbit,
+            report.mpki(),
+            report.mppki(),
+            report.mispredicts
+        );
+    }
+    println!("\nTAGE-LSC should come out ahead: CLIENT03 carries local periodic");
+    println!("patterns drowned in global noise — exactly the branches §6's");
+    println!("local statistical corrector exists for.");
+}

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the reproduction.
+
+use proptest::prelude::*;
+use simkit::counter::{SignedCounter, UnsignedCounter};
+use simkit::history::{FoldedHistory, GlobalHistory, LocalHistories};
+use simkit::{BranchInfo, Predictor, UpdateScenario};
+use workloads::event::{Trace, TraceEvent};
+
+proptest! {
+    #[test]
+    fn signed_counter_never_leaves_range(bits in 1u8..=8, steps in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SignedCounter::new(bits);
+        for s in steps {
+            c.update(s);
+            prop_assert!(c.get() >= c.min() && c.get() <= c.max());
+            prop_assert_eq!(c.is_taken(), c.get() >= 0);
+        }
+    }
+
+    #[test]
+    fn unsigned_counter_never_leaves_range(bits in 1u8..=8, steps in proptest::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = UnsignedCounter::new(bits);
+        for s in steps {
+            c.update(s);
+            prop_assert!(c.get() <= c.max());
+        }
+    }
+
+    #[test]
+    fn counter_monotone_in_taken_count(bits in 2u8..=6, n in 0usize..40) {
+        // More taken updates from the same start never yield a smaller value.
+        let run = |takens: usize, total: usize| {
+            let mut c = SignedCounter::new(bits);
+            for i in 0..total {
+                c.update(i < takens);
+            }
+            c.get()
+        };
+        let total = 40;
+        prop_assert!(run(n, total) <= run((n + 1).min(total), total) + 2);
+    }
+
+    #[test]
+    fn folded_history_matches_naive_recompute(
+        lengths in proptest::collection::vec(1usize..300, 1..4),
+        width in 5u32..14,
+        bits in proptest::collection::vec(any::<bool>(), 1..600)
+    ) {
+        let mut gh = GlobalHistory::new();
+        let mut folds: Vec<FoldedHistory> =
+            lengths.iter().map(|&l| FoldedHistory::new(l, width)).collect();
+        for b in bits {
+            gh.push(b);
+            for f in &mut folds {
+                f.update(&gh);
+                prop_assert_eq!(f.value(), f.recompute(&gh));
+            }
+        }
+    }
+
+    #[test]
+    fn local_histories_only_keep_width_bits(width in 1u32..40, updates in proptest::collection::vec((any::<u64>(), any::<bool>()), 0..200)) {
+        let mut lh = LocalHistories::new(32, width);
+        for (pc, taken) in updates {
+            lh.update(pc, taken);
+            prop_assert!(lh.history(pc) <= simkit::bits::mask(width));
+        }
+    }
+
+    #[test]
+    fn interleaved_index_is_a_bijection_per_bank(size_bits in 2u32..16, bank in 0u8..4) {
+        let n = 1usize << size_bits;
+        let mut seen = vec![false; n];
+        let inner = n / 4;
+        for idx in 0..inner {
+            let m = memarray::interleaved_index(idx, bank, size_bits);
+            prop_assert!(m < n);
+            prop_assert!(!seen[m], "collision at {m}");
+            seen[m] = true;
+        }
+    }
+
+    #[test]
+    fn bank_selector_never_repeats_within_three(pcs in proptest::collection::vec(any::<u64>(), 3..300)) {
+        let mut sel = memarray::BankSelector::new();
+        let mut last: Vec<u8> = Vec::new();
+        for pc in pcs {
+            let b = sel.bank(pc);
+            for &p in last.iter().rev().take(2) {
+                prop_assert_ne!(b, p);
+            }
+            last.push(b);
+        }
+    }
+
+    #[test]
+    fn trace_codec_round_trips(seed in any::<u64>(), n in 1usize..200) {
+        let spec = workloads::suite::by_name("INT05", workloads::suite::Scale::Tiny).unwrap();
+        let mut trace = spec.generate();
+        trace.events.truncate(n);
+        let _ = seed;
+        let mut buf = Vec::new();
+        workloads::io::write_trace(&mut buf, &trace).unwrap();
+        let back = workloads::io::read_trace(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn tage_prediction_lifecycle_never_panics(
+        pcs in proptest::collection::vec(1u64..1 << 20, 1..400),
+        outcomes in proptest::collection::vec(any::<bool>(), 400)
+    ) {
+        let mut p = tage::TageSystem::tage_lsc();
+        for (i, pc) in pcs.iter().enumerate() {
+            let b = BranchInfo::conditional(pc << 2);
+            let outcome = outcomes[i % outcomes.len()];
+            let (pred, mut f) = p.predict(&b);
+            p.fetch_commit(&b, outcome, &mut f);
+            p.execute(&b, outcome, &mut f);
+            p.retire(&b, outcome, pred, f, UpdateScenario::RereadOnMispredict);
+        }
+        // Access accounting invariants.
+        let s = p.stats();
+        prop_assert_eq!(s.predict_reads, pcs.len() as u64);
+        prop_assert!(s.retire_reads <= s.predict_reads);
+    }
+
+    #[test]
+    fn scenario_b_counters_move_at_most_one_step(
+        pc in 1u64..1 << 16,
+        k in 2usize..8
+    ) {
+        // k retires from the SAME snapshot must be idempotent (one step).
+        let mut p = baselines::Gshare::new(12);
+        let b = BranchInfo::conditional(pc << 2);
+        let (pred, f) = p.predict(&b);
+        for _ in 0..k {
+            p.retire(&b, true, pred, f, UpdateScenario::FetchOnly);
+        }
+        let (_, f2) = p.predict(&b);
+        // Counter started at 1 (weakly NT), one stale step to 2.
+        let _ = f2;
+        let mut q = baselines::Gshare::new(12);
+        let (qpred, qf) = q.predict(&b);
+        q.retire(&b, true, qpred, qf, UpdateScenario::FetchOnly);
+        let (p1, _) = p.predict(&b);
+        let (q1, _) = q.predict(&b);
+        prop_assert_eq!(p1, q1, "k stale retires must equal 1 stale retire");
+    }
+
+    #[test]
+    fn suite_traces_have_declared_budgets(idx in 0usize..40) {
+        let specs = workloads::suite::suite(workloads::suite::Scale::Tiny);
+        let spec = &specs[idx];
+        let t = spec.generate();
+        prop_assert_eq!(t.conditional_count() as usize, spec.budget());
+    }
+}
+
+#[test]
+fn trace_events_have_sane_fields() {
+    // Deterministic sweep (not proptest: generation is already seeded).
+    let t: Trace = workloads::suite::by_name("SERVER01", workloads::suite::Scale::Tiny)
+        .unwrap()
+        .generate();
+    for e in &t.events {
+        let _: &TraceEvent = e;
+        assert!(e.pc > 0);
+        assert!(e.uops_before < 64);
+        if !e.kind.is_conditional() {
+            assert!(e.taken, "unconditional events are always taken");
+        }
+    }
+}
