@@ -119,7 +119,7 @@ mod tests {
         let mut p = Bimodal::new(1024, 2);
         let mut wrong = 0;
         for _ in 0..100 {
-            if drive(&mut p, 0x400, true) != true {
+            if !drive(&mut p, 0x400, true) {
                 wrong += 1;
             }
         }

@@ -286,7 +286,7 @@ mod tests {
         let mut p = small();
         let mut wrong = 0;
         for i in 0..1000 {
-            if drive(&mut p, 0x400, true) != true && i > 200 {
+            if !drive(&mut p, 0x400, true) && i > 200 {
                 wrong += 1;
             }
         }

@@ -227,7 +227,7 @@ mod tests {
         let mut p = small();
         let mut wrong = 0;
         for i in 0..2000 {
-            if drive(&mut p, 0x400, true) != true && i > 100 {
+            if !drive(&mut p, 0x400, true) && i > 100 {
                 wrong += 1;
             }
         }

@@ -71,7 +71,7 @@ impl LoopPredictor {
     /// Panics if `ways` does not divide `entries`, is 0, exceeds 4, or if
     /// the resulting set count is not a power of two.
     pub fn new(entries: usize, ways: usize) -> Self {
-        assert!(ways >= 1 && ways <= 4 && entries % ways == 0);
+        assert!((1..=4).contains(&ways) && entries.is_multiple_of(ways));
         let sets = entries / ways;
         assert!(sets.is_power_of_two(), "loop predictor sets must be a power of two");
         Self { entries: vec![LoopEntry::default(); entries], sets, ways, lfsr: 0xACE1_2468_ACE1_2468 }

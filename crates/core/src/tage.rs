@@ -513,7 +513,7 @@ mod tests {
         let mut p = small();
         let mut wrong = 0;
         for i in 0..500 {
-            if drive(&mut p, 0x400, true) != true && i > 20 {
+            if !drive(&mut p, 0x400, true) && i > 20 {
                 wrong += 1;
             }
         }

@@ -1,13 +1,48 @@
+//! `dbg_fig9` — quick scaling-curve probe for the Figure 9 predictor
+//! families (TAGE vs TAGE-LSC across storage-budget deltas), with the
+//! CLIENT02 cliff trace singled out.
+//!
+//! ```text
+//! dbg_fig9 [--scale tiny|small|default|full]
+//! ```
+
 use harness::ExpContext;
 use simkit::UpdateScenario;
 use workloads::suite::Scale;
 
 fn main() {
-    let ctx = ExpContext::new(Scale::Default);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Default;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (tiny|small|default|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: dbg_fig9 [--scale tiny|small|default|full]");
+                return;
+            }
+            other => {
+                eprintln!("usage: dbg_fig9 [--scale tiny|small|default|full] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+    let ctx = ExpContext::new(scale);
     for delta in [-2i32, 0, 2, 4, 6] {
         let t = ctx.run(|| tage::TageSystem::scaled_tage(delta), UpdateScenario::RereadAtRetire);
         let l = ctx.run(|| tage::TageSystem::scaled_tage_lsc(delta), UpdateScenario::RereadAtRetire);
         let c02 = l.reports.iter().find(|r| r.trace == "CLIENT02").unwrap().mppki();
-        println!("delta {delta:+}: TAGE {:7.1}  TAGE-LSC {:7.1}  CLIENT02(LSC) {:7.1}", t.mppki(), l.mppki(), c02);
+        println!(
+            "delta {delta:+}: TAGE {:7.1}  TAGE-LSC {:7.1}  CLIENT02(LSC) {:7.1}",
+            t.mppki(),
+            l.mppki(),
+            c02
+        );
     }
 }

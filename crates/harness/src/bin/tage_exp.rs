@@ -1,7 +1,7 @@
-//! `tage-exp` — regenerate the paper's tables and figures.
+//! `tage_exp` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! tage-exp <experiment|all> [--scale tiny|small|default|full]
+//! tage_exp <experiment|all> [--scale tiny|small|default|full]
 //! ```
 
 use harness::experiments::{run, ALL_EXPERIMENTS};
@@ -30,8 +30,14 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        print_usage();
-        std::process::exit(2);
+        // Bare invocation: run the whole sweep, defaulting to the smoke-test
+        // scale (unless --scale was given) so `cargo run --bin tage_exp`
+        // demonstrates every experiment quickly.
+        targets.push("all".to_string());
+        if !args.iter().any(|a| a == "--scale") {
+            scale = Scale::Tiny;
+        }
+        println!("# no experiment given: running `all` at scale {scale:?} (see --help)");
     }
     let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
         ALL_EXPERIMENTS.to_vec()
@@ -45,7 +51,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    println!("# tage-exp: scale={scale:?} ({} branches/trace)", scale.branches());
+    println!("# tage_exp: scale={scale:?} ({} branches/trace)", scale.branches());
     let start = std::time::Instant::now();
     let ctx = ExpContext::new(scale);
     println!("# generated 40 traces in {:.1}s", start.elapsed().as_secs_f32());
@@ -57,7 +63,7 @@ fn main() {
 }
 
 fn print_usage() {
-    println!("usage: tage-exp <experiment|all> [--scale tiny|small|default|full]");
+    println!("usage: tage_exp <experiment|all> [--scale tiny|small|default|full]");
     println!("experiments:");
     for id in ALL_EXPERIMENTS {
         println!("  {id}");

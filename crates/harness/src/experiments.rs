@@ -241,7 +241,7 @@ pub fn e03_scenarios(ctx: &ExpContext) {
 /// almost nothing (627 vs 625 MPPKI) while the CACTI-style model reports
 /// ~3.3× area and ~2× read-energy savings.
 pub fn e04_interleave(ctx: &ExpContext) {
-    let base = ctx.run(|| Tage::reference_64kb(), UpdateScenario::RereadOnMispredict);
+    let base = ctx.run(Tage::reference_64kb, UpdateScenario::RereadOnMispredict);
     let inter = ctx.run(
         || Tage::reference_64kb().with_interleaving(),
         UpdateScenario::RereadOnMispredict,

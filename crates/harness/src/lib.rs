@@ -2,7 +2,7 @@
 //! evaluation. See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results.
 //!
-//! Run with `cargo run --release -p harness --bin tage-exp -- <exp>` where
+//! Run with `cargo run --release -p harness --bin tage_exp -- <exp>` where
 //! `<exp>` is one of the experiment ids (`bench-chars`, `fig3`, `writes`,
 //! `scenarios`, `interleave`, `ium`, `loop`, `sc`, `isl`, `lsc`,
 //! `ablation`, `fig9`, `fig10`, `cost-eff`) or `all`.

@@ -404,7 +404,7 @@ mod tests {
         assert_eq!(lh.history(0b00_00), 1);
         assert_eq!(lh.history(0b01_00), 0);
         // Aliasing: entry 4 maps onto entry 0 with 4-entry table.
-        lh.update(0b100_00, false);
+        lh.update(0b1_0000, false);
         assert_eq!(lh.history(0b00_00), 0b10);
     }
 

@@ -1,0 +1,141 @@
+//! Integration tests for the simkit primitives: saturating-counter boundary
+//! behavior, the O(1) folded history against a naive re-fold oracle, and
+//! RNG determinism across runs.
+
+use simkit::bits::mask;
+use simkit::counter::{SignedCounter, UnsignedCounter};
+use simkit::history::{FoldedHistory, GlobalHistory};
+use simkit::rng::{SplitMix64, Xoshiro256};
+
+#[test]
+fn signed_counter_3bit_covers_minus_four_to_three() {
+    let mut c = SignedCounter::new(3);
+    assert_eq!(c.min(), -4);
+    assert_eq!(c.max(), 3);
+    assert_eq!(c.get(), 0, "counters start weakly taken");
+    assert!(c.is_taken());
+
+    for _ in 0..10 {
+        c.increment();
+        assert!(c.get() <= 3, "must saturate at max");
+    }
+    assert_eq!(c.get(), 3);
+    c.increment();
+    assert_eq!(c.get(), 3, "increment at max is a no-op");
+
+    for _ in 0..20 {
+        c.decrement();
+        assert!(c.get() >= -4, "must saturate at min");
+    }
+    assert_eq!(c.get(), -4);
+    c.decrement();
+    assert_eq!(c.get(), -4, "decrement at min is a no-op");
+    assert!(!c.is_taken());
+
+    // Walk the full range back up one step at a time.
+    for expected in -3..=3 {
+        c.update(true);
+        assert_eq!(c.get(), expected);
+        assert_eq!(c.is_taken(), expected >= 0);
+    }
+}
+
+#[test]
+fn signed_counter_widths_one_to_eight_have_two_complement_ranges() {
+    for bits in 1..=8u8 {
+        let c = SignedCounter::new(bits);
+        assert_eq!(c.min(), -(1 << (bits - 1)), "min for {bits}-bit");
+        assert_eq!(c.max(), (1 << (bits - 1)) - 1, "max for {bits}-bit");
+    }
+}
+
+#[test]
+fn unsigned_counter_saturates_at_zero_and_max() {
+    let mut c = UnsignedCounter::new(2);
+    assert_eq!(c.max(), 3);
+    c.decrement();
+    assert_eq!(c.get(), 0, "decrement at 0 is a no-op");
+    for _ in 0..5 {
+        c.increment();
+    }
+    assert_eq!(c.get(), 3);
+    assert!(c.is_saturated());
+}
+
+/// Naive oracle: re-fold the last `length` history bits from scratch,
+/// oldest bit first, exactly mirroring the incremental recurrence.
+fn naive_fold(gh: &GlobalHistory, length: usize, width: u32) -> u64 {
+    let mut comp = 0u64;
+    for i in (0..length).rev() {
+        comp = (comp << 1) | gh.bit(i);
+        comp ^= comp >> width;
+        comp &= mask(width);
+    }
+    comp
+}
+
+#[test]
+fn folded_history_o1_update_matches_naive_refold() {
+    // Deterministic but aperiodic bit stream from the workspace RNG.
+    let mut rng = SplitMix64::new(0xF01D_ED01);
+    // Lengths bracket the interesting cases: shorter than, equal to, and
+    // much longer than the fold width, including the paper's (6, 2000) ends.
+    let cases = [(3usize, 8u32), (6, 10), (10, 10), (17, 11), (130, 12), (2000, 12)];
+    let mut gh = GlobalHistory::new();
+    let mut folds: Vec<FoldedHistory> =
+        cases.iter().map(|&(l, w)| FoldedHistory::new(l, w)).collect();
+    for step in 0..4096 {
+        gh.push(rng.next_u64() & 1 == 1);
+        for (f, &(l, w)) in folds.iter_mut().zip(&cases) {
+            f.update(&gh);
+            assert_eq!(
+                f.value(),
+                naive_fold(&gh, l, w),
+                "fold ({l},{w}) diverged from oracle at step {step}"
+            );
+            assert_eq!(f.value(), f.recompute(&gh), "recompute oracle disagrees at step {step}");
+            assert!(f.value() <= mask(w));
+        }
+    }
+}
+
+#[test]
+fn splitmix_is_deterministic_across_runs() {
+    let mut a = SplitMix64::new(42);
+    let mut b = SplitMix64::new(42);
+    let first: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+    let again: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+    assert_eq!(first, again, "same seed must replay the same stream");
+
+    let mut c = SplitMix64::new(43);
+    let other: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+    assert_ne!(first, other, "different seeds must diverge");
+}
+
+#[test]
+fn xoshiro_is_deterministic_and_seed_sensitive() {
+    let mut a = Xoshiro256::seed_from(7);
+    let mut b = Xoshiro256::seed_from(7);
+    for i in 0..256 {
+        assert_eq!(a.next_u64(), b.next_u64(), "streams diverged at {i}");
+    }
+    let mut c = Xoshiro256::seed_from(8);
+    let from_7: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+    let from_8: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+    assert_ne!(from_7, from_8);
+}
+
+#[test]
+fn xoshiro_helpers_stay_in_bounds() {
+    let mut r = Xoshiro256::seed_from(99);
+    for _ in 0..1000 {
+        let v = r.gen_range(17);
+        assert!(v < 17);
+        let f = r.next_f64();
+        assert!((0.0..1.0).contains(&f));
+    }
+    // gen_bool extremes are exact.
+    let mut r = Xoshiro256::seed_from(100);
+    assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+    assert!((0..100).all(|_| r.gen_bool(1.0)));
+}

@@ -58,7 +58,7 @@ impl GenCtx {
     /// Panics if `lag` is 0 or exceeds the ring capacity.
     #[inline]
     pub fn outcome_at(&self, lag: usize) -> bool {
-        assert!(lag >= 1 && lag <= RING_BITS, "lag {lag} out of range");
+        assert!((1..=RING_BITS).contains(&lag), "lag {lag} out of range");
         let pos = (self.head + lag - 1) % RING_BITS;
         (self.ring[pos / 64] >> (pos % 64)) & 1 == 1
     }

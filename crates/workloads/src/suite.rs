@@ -68,7 +68,7 @@ pub enum Scale {
     Tiny,
     /// ~30K — quick experiment previews.
     Small,
-    /// ~120K — the default for `tage-exp`.
+    /// ~120K — the default for `tage_exp`.
     Default,
     /// ~480K — closest to the paper; minutes of runtime.
     Full,

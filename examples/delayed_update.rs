@@ -24,10 +24,10 @@ fn main() {
         "predictor", "[I]", "[A]", "[B]", "[C]", "B vs I", "C vs I"
     );
 
-    run("gshare", &trace, &cfg, || Gshare::cbp_512k());
-    run("GEHL", &trace, &cfg, || Gehl::cbp_520k());
-    run("TAGE", &trace, &cfg, || TageSystem::reference_tage());
-    run("TAGE+IUM", &trace, &cfg, || TageSystem::tage_ium());
+    run("gshare", &trace, &cfg, Gshare::cbp_512k);
+    run("GEHL", &trace, &cfg, Gehl::cbp_520k);
+    run("TAGE", &trace, &cfg, TageSystem::reference_tage);
+    run("TAGE+IUM", &trace, &cfg, TageSystem::tage_ium);
 
     println!("\n[I] oracle immediate update  [A] reread at retire");
     println!("[B] fetch-time values only   [C] reread only on mispredictions");

@@ -34,7 +34,7 @@
 //! ```
 //!
 //! See `README.md` for the repository tour and `cargo run --release -p
-//! harness --bin tage-exp -- all` to regenerate the paper's evaluation.
+//! harness --bin tage_exp -- all` to regenerate the paper's evaluation.
 
 pub use baselines;
 pub use harness;

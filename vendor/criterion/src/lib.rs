@@ -1,0 +1,160 @@
+//! Offline stand-in for [`criterion`](https://bheisler.github.io/criterion.rs/book/).
+//!
+//! The build container has no network access to crates.io, so this crate
+//! reimplements the subset of the criterion surface the `bench` crate uses:
+//! `Criterion`, `benchmark_group`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's
+//! statistical sampling it times a small fixed number of iterations and
+//! prints `ns/iter` (plus elements/s when a throughput is set). Under
+//! `cargo test` (cargo passes `--test` to `harness = false` bench targets)
+//! every benchmark body runs exactly once as a smoke test, matching real
+//! criterion's test-mode behaviour. Swap the path dependency for crates.io
+//! `criterion = "0.5"` when registry access is available.
+
+use std::time::{Duration, Instant};
+
+/// Measurement-loop driver passed to `bench_function` closures.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing iteration count and total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        std::hint::black_box(f()); // warm-up
+        let n: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(f());
+        }
+        self.iters = n;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes harness = false bench targets with `--test` under
+        // `cargo test` and `--bench` under `cargo bench`.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(self.test_mode, id, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing throughput/sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the stand-in's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; the stand-in warms up with one run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; the stand-in's iteration count is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion.test_mode, &full, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, tp: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { test_mode, iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    let iters = b.iters.max(1);
+    let per_iter = b.elapsed.as_nanos() / u128::from(iters);
+    match tp {
+        Some(Throughput::Elements(n)) if per_iter > 0 => {
+            let rate = n as f64 * 1e9 / per_iter as f64;
+            println!("{id:<40} {per_iter:>12} ns/iter  {rate:>12.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0 => {
+            let rate = n as f64 * 1e9 / per_iter as f64;
+            println!("{id:<40} {per_iter:>12} ns/iter  {rate:>12.0} B/s");
+        }
+        _ => println!("{id:<40} {per_iter:>12} ns/iter"),
+    }
+}
+
+/// Declares a function running each benchmark target in sequence.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

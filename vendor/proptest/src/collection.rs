@@ -1,0 +1,50 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+
+/// Anything usable as the length argument of [`vec`]: a fixed `usize` or a
+/// (half-open / inclusive) `usize` range.
+pub trait SizeRange {
+    /// Draws a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S, L> {
+    elem: S,
+    len: L,
+}
+
+/// `Vec` strategy: each case draws a length from `len`, then that many
+/// elements from `elem`.
+pub fn vec<S: Strategy, L: SizeRange>(elem: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.pick(rng);
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! The build container has no network access to crates.io, so this crate
+//! reimplements the subset of the proptest surface the workspace tests use:
+//!
+//! * the `proptest! { #[test] fn name(arg in strategy, ...) { .. } }` macro,
+//! * `any::<T>()` for the primitive types, integer-range strategies
+//!   (`1u8..=8`, `0usize..200`, ...), tuple strategies, and
+//!   `proptest::collection::vec(strategy, len_or_range)`,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Unlike real proptest there is no shrinking and no failure persistence:
+//! each test runs [`NUM_CASES`] cases drawn from a SplitMix64 stream seeded
+//! from the test's name, so failures are bit-reproducible across runs and
+//! machines. Swap the path dependency for crates.io `proptest = "1"` when
+//! registry access is available — the test sources need no change.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Cases drawn per property (real proptest defaults to 256; this runner has
+/// no shrinking so it keeps runs short instead).
+pub const NUM_CASES: usize = 64;
+
+/// Expands each `fn name(arg in strategy, ...) { body }` item into a normal
+/// `#[test]` that samples every strategy [`NUM_CASES`] times from a
+/// name-seeded deterministic RNG and runs the body on each case.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __proptest_case in 0..$crate::NUM_CASES {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut __proptest_rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` without shrinking reduces to a plain `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` without shrinking reduces to a plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` without shrinking reduces to a plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,4 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Any, Arbitrary, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

@@ -1,0 +1,23 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors an API-compatible *subset*: the `Serialize` / `Deserialize` trait
+//! names and the matching no-op derive macros. Nothing in this repository
+//! serializes through serde (traces use the custom codec in `workloads::io`);
+//! the derives only mark types as serializable for downstream consumers.
+//! Swap this path dependency for the real crates.io `serde = "1"` when the
+//! build environment gains registry access — no source change is needed.
+
+/// Marker trait mirroring `serde::Serialize`. Blanket-implemented: with the
+/// no-op derive every type is trivially serializable.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`. The lifetime parameter
+/// is kept so `T: Deserialize<'static>`-style bounds written against real
+/// serde still compile.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

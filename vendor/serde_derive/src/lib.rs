@@ -1,0 +1,18 @@
+//! No-op derive macros backing the vendored `serde` stand-in.
+//!
+//! `vendor/serde` blanket-implements its marker traits, so the derives have
+//! nothing to emit — they exist so `#[derive(Serialize, Deserialize)]`
+//! attributes throughout the workspace parse exactly as they would against
+//! real serde.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
