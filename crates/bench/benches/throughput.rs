@@ -1,7 +1,7 @@
 //! Prediction throughput of every predictor in the workspace: how many
 //! simulated branches per second the functional models sustain.
 
-use bench::{bench_trace, run_once};
+use bench::{bench_trace, run_once, run_streamed};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use simkit::UpdateScenario;
 use std::hint::black_box;
@@ -67,6 +67,13 @@ fn throughput(c: &mut Criterion) {
         b.iter(|| {
             let mut p = tage::TageSystem::tage_lsc();
             black_box(run_once(&mut p, &trace, UpdateScenario::RereadAtRetire))
+        })
+    });
+    g.bench_function("tage_ref_streamed", |b| {
+        // Generation fused into simulation: no materialized event vector.
+        b.iter(|| {
+            let mut p = tage::Tage::reference_64kb();
+            black_box(run_streamed(&mut p, "CLIENT08", UpdateScenario::RereadAtRetire))
         })
     });
     g.finish();

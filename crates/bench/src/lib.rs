@@ -23,6 +23,14 @@ pub fn run_once<P: Predictor>(p: &mut P, trace: &Trace, scenario: UpdateScenario
     simulate(p, trace, scenario, &PipelineConfig::default())
 }
 
+/// Runs one predictor over a lazily streamed trace (generation fused into
+/// simulation, no materialized `Vec<TraceEvent>`): the streaming-path
+/// counterpart of [`run_once`].
+pub fn run_streamed<P: Predictor>(p: &mut P, name: &str, scenario: UpdateScenario) -> SimReport {
+    let spec = by_name(name, Scale::Tiny).expect("known trace");
+    pipeline::simulate_source(p, &mut spec.stream(), scenario, &PipelineConfig::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

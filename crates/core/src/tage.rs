@@ -254,6 +254,9 @@ impl Tage {
         let mut us = [false; MAX_TAGGED];
         let mut hits = 0u16;
         for t in 0..self.cfg.num_tagged {
+            self.tables[t].prefetch(flight.indices[t] as usize);
+        }
+        for t in 0..self.cfg.num_tagged {
             let e = self.tables[t].entry(flight.indices[t] as usize);
             ctrs[t] = e.ctr.get();
             us[t] = e.u;
@@ -366,18 +369,23 @@ impl Predictor for Tage {
             tage_pred: base.pred,
             weak: false,
         };
+        // First compute every component's index and tag (pure hashing)
+        // while prefetching the entries, so the per-component reads below
+        // overlap their cache misses instead of serializing them.
         for t in 0..self.cfg.num_tagged {
             let mut idx = self.tables[t].index(b.pc, &self.path);
             if let Some(bk) = bank {
                 idx = interleaved_index(idx, bk, self.cfg.table_size_bits[t]);
             }
-            let tag = self.tables[t].tag(b.pc);
-            let e = self.tables[t].entry(idx);
             flight.indices[t] = idx as u32;
-            flight.tags[t] = tag;
+            flight.tags[t] = self.tables[t].tag(b.pc);
+            self.tables[t].prefetch(idx);
+        }
+        for t in 0..self.cfg.num_tagged {
+            let e = self.tables[t].entry(flight.indices[t] as usize);
             flight.ctrs[t] = e.ctr.get();
             flight.us[t] = e.u;
-            if e.tag == tag {
+            if e.tag == flight.tags[t] {
                 flight.hits |= 1 << t;
             }
         }

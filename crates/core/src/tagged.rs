@@ -21,12 +21,23 @@ pub struct TaggedEntry {
     pub u: bool,
 }
 
+/// The in-memory representation of one entry: the counter *value* only
+/// (its width is a per-table constant), packed to 4 bytes so the large
+/// quasi-randomly indexed tables waste as little cache as possible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PackedEntry {
+    ctr: i8,
+    tag: u16,
+    u: bool,
+}
+
 /// A tagged component table.
 #[derive(Clone, Debug)]
 pub struct TaggedTable {
-    entries: Vec<TaggedEntry>,
+    entries: Vec<PackedEntry>,
     size_bits: u32,
     tag_width: u8,
+    ctr_bits: u8,
     hist_len: usize,
     table_num: usize,
     folded_idx: FoldedHistory,
@@ -39,11 +50,14 @@ impl TaggedTable {
     /// `tag_width`-bit tags and history length `hist_len`.
     pub fn new(table_num: usize, size_bits: u32, tag_width: u8, hist_len: usize, ctr_bits: u8) -> Self {
         assert!(hist_len >= 1, "tagged table history length must be positive");
-        let empty = TaggedEntry { ctr: SignedCounter::new(ctr_bits), tag: 0, u: false };
+        // The packed counter is an i8; every configured width fits.
+        assert!(ctr_bits <= 8, "tagged counter width {ctr_bits} exceeds the packed entry");
+        let empty = PackedEntry { ctr: SignedCounter::new(ctr_bits).get() as i8, tag: 0, u: false };
         Self {
             entries: vec![empty; 1 << size_bits],
             size_bits,
             tag_width,
+            ctr_bits,
             hist_len,
             table_num,
             folded_idx: FoldedHistory::new(hist_len, size_bits),
@@ -53,11 +67,15 @@ impl TaggedTable {
     }
 
     /// Advances the folded histories after a [`GlobalHistory::push`].
+    /// All three folds share this table's history length, so the two
+    /// history bits they consume are read once.
     #[inline]
     pub fn update_history(&mut self, gh: &GlobalHistory) {
-        self.folded_idx.update(gh);
-        self.folded_tag0.update(gh);
-        self.folded_tag1.update(gh);
+        let in_bit = gh.bit(0);
+        let out_bit = gh.bit(self.hist_len);
+        self.folded_idx.update_split(in_bit, out_bit);
+        self.folded_tag0.update_split(in_bit, out_bit);
+        self.folded_tag1.update_split(in_bit, out_bit);
     }
 
     /// Table index for this (PC, history, path).
@@ -83,14 +101,46 @@ impl TaggedTable {
     /// Reads an entry.
     #[inline]
     pub fn entry(&self, index: usize) -> TaggedEntry {
-        self.entries[index]
+        let e = self.entries[index];
+        TaggedEntry {
+            ctr: SignedCounter::with_value(self.ctr_bits, i16::from(e.ctr)),
+            tag: e.tag,
+            u: e.u,
+        }
+    }
+
+    /// Hints the cache hierarchy that `index` is about to be read. The
+    /// tagged tables are large and indexed quasi-randomly, so a predict or
+    /// retire re-read issues one likely-missing load per component;
+    /// prefetching all components up front lets those misses overlap
+    /// instead of serializing. Purely a performance hint — never changes
+    /// results.
+    #[inline]
+    pub fn prefetch(&self, index: usize) {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the pointer is in-bounds (`index` is masked to the table
+        // size by every caller and checked here) and prefetch has no
+        // memory effects.
+        if index < self.entries.len() {
+            unsafe {
+                std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(
+                    self.entries.as_ptr().add(index).cast::<i8>(),
+                );
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = index;
     }
 
     /// Writes an entry, returning whether the stored value changed.
+    ///
+    /// Counter widths are uniform within a table, so comparing packed
+    /// values is exactly the old whole-entry comparison.
     #[inline]
     pub fn write(&mut self, index: usize, entry: TaggedEntry) -> bool {
-        let changed = self.entries[index] != entry;
-        self.entries[index] = entry;
+        let packed = PackedEntry { ctr: entry.ctr.get() as i8, tag: entry.tag, u: entry.u };
+        let changed = self.entries[index] != packed;
+        self.entries[index] = packed;
         changed
     }
 

@@ -6,7 +6,7 @@
 //! dbg_fig9 [--scale tiny|small|default|full]
 //! ```
 
-use harness::ExpContext;
+use harness::{ExpContext, ExpOptions};
 use simkit::UpdateScenario;
 use workloads::suite::Scale;
 
@@ -33,10 +33,12 @@ fn main() {
             }
         }
     }
-    let ctx = ExpContext::new(scale);
+    let ctx = ExpContext::with_options(scale, ExpOptions::from_env());
     for delta in [-2i32, 0, 2, 4, 6] {
-        let t = ctx.run(|| tage::TageSystem::scaled_tage(delta), UpdateScenario::RereadAtRetire);
-        let l = ctx.run(|| tage::TageSystem::scaled_tage_lsc(delta), UpdateScenario::RereadAtRetire);
+        let t =
+            ctx.run(move || tage::TageSystem::scaled_tage(delta), UpdateScenario::RereadAtRetire);
+        let l = ctx
+            .run(move || tage::TageSystem::scaled_tage_lsc(delta), UpdateScenario::RereadAtRetire);
         let c02 = l.reports.iter().find(|r| r.trace == "CLIENT02").unwrap().mppki();
         println!(
             "delta {delta:+}: TAGE {:7.1}  TAGE-LSC {:7.1}  CLIENT02(LSC) {:7.1}",

@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! tage_exp <experiment|all> [--scale tiny|small|default|full]
+//!          [--threads N] [--list]
 //! ```
+//!
+//! Suite simulations are scheduled as per-trace jobs on a work-stealing
+//! pool spanning the whole invocation, and duplicate (predictor, scenario)
+//! suites are memoized — `tage_exp all` runs each unique suite exactly
+//! once. Set `TAGE_TRACE_CACHE=<dir>` to persist generated traces across
+//! invocations.
 
 use harness::experiments::{run, ALL_EXPERIMENTS};
-use harness::ExpContext;
+use harness::{ExpContext, ExpOptions};
 use workloads::suite::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Default;
+    let mut threads: Option<usize> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -21,6 +29,22 @@ fn main() {
                     eprintln!("unknown scale '{v}' (tiny|small|default|full)");
                     std::process::exit(2);
                 });
+            }
+            "--threads" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads expects a positive integer (got '{v}')");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--list" => {
+                for id in ALL_EXPERIMENTS {
+                    println!("{id}");
+                }
+                return;
             }
             "--help" | "-h" => {
                 print_usage();
@@ -39,31 +63,57 @@ fn main() {
         }
         println!("# no experiment given: running `all` at scale {scale:?} (see --help)");
     }
+    // Validate every requested target (not just the post-`all` expansion,
+    // so `tage_exp all bogus` fails loudly instead of silently passing).
+    let mut bad = false;
+    for t in &targets {
+        if t != "all" && !ALL_EXPERIMENTS.contains(&t.as_str()) {
+            eprintln!("unknown experiment '{t}'");
+            bad = true;
+        }
+    }
+    if bad {
+        print_usage();
+        std::process::exit(2);
+    }
     let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
         targets.iter().map(String::as_str).collect()
     };
-    for id in &ids {
-        if !ALL_EXPERIMENTS.contains(id) {
-            eprintln!("unknown experiment '{id}'");
-            print_usage();
-            std::process::exit(2);
-        }
-    }
     println!("# tage_exp: scale={scale:?} ({} branches/trace)", scale.branches());
     let start = std::time::Instant::now();
-    let ctx = ExpContext::new(scale);
-    println!("# generated 40 traces in {:.1}s", start.elapsed().as_secs_f32());
+    let mut opts = ExpOptions::from_env();
+    opts.threads = threads;
+    let ctx = ExpContext::with_options(scale, opts);
+    println!(
+        "# generated 40 traces in {:.1}s ({} worker threads)",
+        start.elapsed().as_secs_f32(),
+        ctx.threads()
+    );
     for id in ids {
         let t0 = std::time::Instant::now();
+        // Every id was validated against ALL_EXPERIMENTS above, so the
+        // dispatcher cannot miss.
         run(id, &ctx);
         println!("# [{id}] done in {:.1}s\n", t0.elapsed().as_secs_f32());
     }
+    let s = ctx.scheduler_stats();
+    println!(
+        "# scheduler: {} simulate jobs run of {} requested ({} suite runs served from cache) in {:.1}s",
+        s.sim_jobs_run,
+        s.sim_jobs_requested,
+        s.suite_memo_hits,
+        start.elapsed().as_secs_f32()
+    );
 }
 
 fn print_usage() {
     println!("usage: tage_exp <experiment|all> [--scale tiny|small|default|full]");
+    println!("                [--threads N] [--list]");
+    println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
+    println!("  --list        print the experiment ids and exit");
+    println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");
     println!("experiments:");
     for id in ALL_EXPERIMENTS {
         println!("  {id}");

@@ -1,64 +1,104 @@
-//! Shared experiment context: materialized traces + pipeline config,
-//! with a parallel suite runner.
+//! Shared experiment context: the trace suite plus the deduplicating
+//! parallel scheduler every experiment runs through.
 
-use pipeline::{simulate, PipelineConfig, SimReport, SuiteReport};
+use crate::runner::{SchedulerStats, SuiteRunner};
+use pipeline::{PipelineConfig, SuiteReport};
 use simkit::predictor::{Predictor, UpdateScenario};
-use workloads::suite::{suite, Scale};
+use std::sync::Arc;
+use workloads::io::TraceCache;
+use workloads::suite::{generate_parallel, Scale};
 use workloads::Trace;
 
-/// Everything an experiment needs: the 40 generated traces and the
-/// pipeline model.
+/// Construction options for [`ExpContext`].
+#[derive(Clone, Debug, Default)]
+pub struct ExpOptions {
+    /// Worker threads for the scheduler pool (`None`: available
+    /// parallelism, capped at 16).
+    pub threads: Option<usize>,
+    /// On-disk trace cache directory; generated traces are persisted here
+    /// and reloaded on later invocations.
+    pub trace_cache: Option<std::path::PathBuf>,
+}
+
+impl ExpOptions {
+    /// Options from the environment: `TAGE_TRACE_CACHE=<dir>` enables the
+    /// on-disk trace cache (used by the binaries; tests construct options
+    /// explicitly to stay hermetic).
+    pub fn from_env() -> Self {
+        Self {
+            threads: None,
+            trace_cache: std::env::var_os("TAGE_TRACE_CACHE").map(Into::into),
+        }
+    }
+}
+
+/// Everything an experiment needs: the 40 generated traces, the pipeline
+/// model, and the scheduler that runs (and memoizes) suite simulations.
 pub struct ExpContext {
     /// Trace scale in use.
     pub scale: Scale,
-    /// The 40 materialized traces, in suite order.
-    pub traces: Vec<Trace>,
+    /// The 40 materialized traces, in suite order, shared with the
+    /// scheduler's worker threads.
+    pub traces: Arc<Vec<Trace>>,
     /// Pipeline configuration (in-flight window, core model).
     pub cfg: PipelineConfig,
+    runner: SuiteRunner,
 }
 
 impl ExpContext {
-    /// Generates the full suite at `scale`.
+    /// Generates the full suite at `scale` with default options.
     pub fn new(scale: Scale) -> Self {
-        let traces = suite(scale).iter().map(|s| s.generate()).collect();
-        Self { scale, traces, cfg: PipelineConfig::default() }
+        Self::with_options(scale, ExpOptions::default())
+    }
+
+    /// Generates the full suite at `scale`, generating traces in parallel
+    /// (through the on-disk cache when one is configured).
+    pub fn with_options(scale: Scale, opts: ExpOptions) -> Self {
+        let runner = SuiteRunner::new(opts.threads);
+        let cache = opts.trace_cache.and_then(|dir| TraceCache::new(dir).ok());
+        let threads = Some(runner.pool().threads());
+        let traces = Arc::new(generate_parallel(scale, threads, cache.as_ref()));
+        Self { scale, traces, cfg: PipelineConfig::default(), runner }
     }
 
     /// Runs a predictor (one cold instance per trace) over the whole
-    /// suite, in parallel across traces.
+    /// suite, one scheduler job per trace. Not memoized — see
+    /// [`ExpContext::run_cached`].
     pub fn run<P, F>(&self, make: F, scenario: UpdateScenario) -> SuiteReport
     where
-        P: Predictor + Send,
-        F: Fn() -> P + Sync,
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
     {
-        let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-        let reports: Vec<SimReport> = std::thread::scope(|s| {
-            let chunks: Vec<&[Trace]> = self
-                .traces
-                .chunks(self.traces.len().div_ceil(threads))
-                .collect();
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let make = &make;
-                    let cfg = &self.cfg;
-                    s.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|t| simulate(&mut make(), t, scenario, cfg))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
-        });
-        SuiteReport::new(reports)
+        self.runner.run_suite(&self.traces, &self.cfg, make, scenario)
+    }
+
+    /// Like [`ExpContext::run`], memoized by `(label, scenario, pipeline
+    /// config)`: duplicate requests across experiments are served from
+    /// cache. `label` must uniquely identify the configuration `make`
+    /// builds.
+    pub fn run_cached<P, F>(&self, label: &str, make: F, scenario: UpdateScenario) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.runner.run_suite_cached(label, &self.traces, &self.cfg, make, scenario)
+    }
+
+    /// Scheduler counters (jobs run vs requested, memo hits).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.runner.stats()
+    }
+
+    /// Worker threads in the scheduler pool.
+    pub fn threads(&self) -> usize {
+        self.runner.pool().threads()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pipeline::simulate;
 
     #[test]
     fn parallel_run_matches_serial() {
@@ -84,5 +124,35 @@ mod tests {
             assert_eq!(a.trace, b.trace);
             assert_eq!(a.mispredicts, b.mispredicts);
         }
+    }
+
+    #[test]
+    fn cached_run_dedupes_and_matches() {
+        let ctx = ExpContext::with_options(
+            Scale::Tiny,
+            ExpOptions { threads: Some(2), trace_cache: None },
+        );
+        let a = ctx.run_cached("gshare-12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
+        let b = ctx.run_cached("gshare-12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
+        assert_eq!(a.reports, b.reports);
+        let s = ctx.scheduler_stats();
+        assert_eq!(s.sim_jobs_run, 40);
+        assert_eq!(s.sim_jobs_requested, 80);
+        assert_eq!(s.suite_memo_hits, 1);
+    }
+
+    #[test]
+    fn trace_cache_round_trips_through_context() {
+        let dir = std::env::temp_dir()
+            .join(format!("tage-ctx-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts =
+            ExpOptions { threads: Some(2), trace_cache: Some(dir.clone()) };
+        let cold = ExpContext::with_options(Scale::Tiny, opts.clone());
+        let warm = ExpContext::with_options(Scale::Tiny, opts);
+        assert_eq!(*cold.traces, *warm.traces);
+        let plain = ExpContext::new(Scale::Tiny);
+        assert_eq!(*warm.traces, *plain.traces, "cache must not change trace content");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

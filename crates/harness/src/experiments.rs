@@ -58,6 +58,32 @@ fn tage_512k() -> TageSystem {
     TageSystem::reference_tage()
 }
 
+// Memo-cache labels for the predictor configurations shared across
+// experiments. Every `run_cached` label must uniquely identify the
+// configuration: two experiments use the same constant exactly when they
+// construct the identical predictor, which is what lets the scheduler
+// serve the duplicate suite from cache.
+const REF_TAGE: &str = "ref-tage";
+const GSHARE: &str = "gshare-512k";
+const GEHL: &str = "gehl-520k";
+const TAGE_IUM: &str = "tage-ium";
+const TAGE_IUM_LOOP: &str = "tage-ium-loop";
+const ISL_TAGE: &str = "isl-tage";
+const TAGE_LSC: &str = "tage-lsc";
+const TAGE_LSC_CE: &str = "tage-lsc-ce";
+
+/// Label for the Figure 9 scaled plain TAGE. `scaled_tage(0)` is the
+/// reference configuration bit-for-bit (`TageConfig::scaled(0)` is the
+/// identity — asserted by `scaled_zero_is_the_reference_config`), so the
+/// delta-0 sweep point shares the reference label and its cached suite.
+fn scaled_tage_label(delta: i32) -> String {
+    if delta == 0 {
+        REF_TAGE.to_string()
+    } else {
+        format!("scaled-tage:{delta}")
+    }
+}
+
 // ---------------------------------------------------------------------
 // E00 — §2.2 benchmark set characterization
 // ---------------------------------------------------------------------
@@ -65,12 +91,12 @@ fn tage_512k() -> TageSystem {
 /// §2.2: per-trace misprediction counts on the reference TAGE; the 7 hard
 /// traces should account for roughly ¾ of all mispredictions.
 pub fn e00_bench_chars(ctx: &ExpContext) {
-    let suite = ctx.run(tage_512k, UpdateScenario::RereadAtRetire);
+    let suite = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire);
     let mut t = Table::new(
         "E00 (§2.2) Benchmark characterization — reference TAGE, scenario [A]",
         &["trace", "hard", "uops", "branches", "static", "mispred", "MPKI", "MPPKI"],
     );
-    for (r, tr) in suite.reports.iter().zip(&ctx.traces) {
+    for (r, tr) in suite.reports.iter().zip(ctx.traces.iter()) {
         let st = TraceStats::of(tr);
         t.row(vec![
             r.trace.clone(),
@@ -167,9 +193,9 @@ pub fn e01_fig3() {
 /// retired branches for TAGE / GEHL / gshare.
 pub fn e02_writes(ctx: &ExpContext) {
     let rows: Vec<(&str, SuiteReport, f64, f64)> = vec![
-        ("TAGE (ref 64KB)", ctx.run(tage_512k, UpdateScenario::RereadAtRetire), 2.17, 9.06),
-        ("GEHL 520Kbit", ctx.run(Gehl::cbp_520k, UpdateScenario::RereadAtRetire), 1.94, 9.10),
-        ("gshare 512Kbit", ctx.run(Gshare::cbp_512k, UpdateScenario::RereadAtRetire), 1.54, 9.61),
+        ("TAGE (ref 64KB)", ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire), 2.17, 9.06),
+        ("GEHL 520Kbit", ctx.run_cached(GEHL, Gehl::cbp_520k, UpdateScenario::RereadAtRetire), 1.94, 9.10),
+        ("gshare 512Kbit", ctx.run_cached(GSHARE, Gshare::cbp_512k, UpdateScenario::RereadAtRetire), 1.54, 9.61),
     ];
     let mut t = Table::new(
         "E02 (§4.1.1) Effective writes after silent-update elimination, scenario [A]",
@@ -210,9 +236,9 @@ pub fn e03_scenarios(ctx: &ExpContext) {
         let mut measured = [0.0f64; 4];
         for (k, scen) in UpdateScenario::ALL.iter().enumerate() {
             let r = match i {
-                0 => ctx.run(Gshare::cbp_512k, *scen),
-                1 => ctx.run(Gehl::cbp_520k, *scen),
-                _ => ctx.run(tage_512k, *scen),
+                0 => ctx.run_cached(GSHARE, Gshare::cbp_512k, *scen),
+                1 => ctx.run_cached(GEHL, Gehl::cbp_520k, *scen),
+                _ => ctx.run_cached(REF_TAGE, tage_512k, *scen),
             };
             measured[k] = r.mppki();
         }
@@ -241,8 +267,9 @@ pub fn e03_scenarios(ctx: &ExpContext) {
 /// almost nothing (627 vs 625 MPPKI) while the CACTI-style model reports
 /// ~3.3× area and ~2× read-energy savings.
 pub fn e04_interleave(ctx: &ExpContext) {
-    let base = ctx.run(Tage::reference_64kb, UpdateScenario::RereadOnMispredict);
-    let inter = ctx.run(
+    let base = ctx.run_cached("tage64-3port", Tage::reference_64kb, UpdateScenario::RereadOnMispredict);
+    let inter = ctx.run_cached(
+        "tage64-interleaved",
         || Tage::reference_64kb().with_interleaving(),
         UpdateScenario::RereadOnMispredict,
     );
@@ -293,10 +320,10 @@ pub fn e05_ium(ctx: &ExpContext) {
         "E05 (§5.1) Immediate Update Mimicker",
         &["scenario", "TAGE", "paper", "TAGE+IUM", "paper ", "recovered"],
     );
-    let oracle = ctx.run(tage_512k, UpdateScenario::Immediate).mppki();
+    let oracle = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::Immediate).mppki();
     for (name, scen, p_no, p_ium) in paper {
-        let without = ctx.run(tage_512k, scen).mppki();
-        let with = ctx.run(TageSystem::tage_ium, scen).mppki();
+        let without = ctx.run_cached(REF_TAGE, tage_512k, scen).mppki();
+        let with = ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, scen).mppki();
         let recovered = if (without - oracle).abs() < 1e-9 {
             "-".to_string()
         } else {
@@ -323,8 +350,9 @@ pub fn e05_ium(ctx: &ExpContext) {
 /// §5.2: TAGE+IUM+loop reaches 593 MPPKI from 611 (≈3 % of the remaining
 /// loss).
 pub fn e06_loop(ctx: &ExpContext) {
-    let base = ctx.run(TageSystem::tage_ium, UpdateScenario::RereadAtRetire);
-    let with = ctx.run(
+    let base = ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, UpdateScenario::RereadAtRetire);
+    let with = ctx.run_cached(
+        TAGE_IUM_LOOP,
         || TageSystem::tage_ium().with_loop(tage::LoopPredictor::cbp_64()),
         UpdateScenario::RereadAtRetire,
     );
@@ -347,11 +375,12 @@ pub fn e06_loop(ctx: &ExpContext) {
 
 /// §5.3: adding the global SC reaches 580 MPPKI from 593 (≈2 % more).
 pub fn e07_sc(ctx: &ExpContext) {
-    let base = ctx.run(
+    let base = ctx.run_cached(
+        TAGE_IUM_LOOP,
         || TageSystem::tage_ium().with_loop(tage::LoopPredictor::cbp_64()),
         UpdateScenario::RereadAtRetire,
     );
-    let with = ctx.run(TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
+    let with = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
     let mut t = Table::new(
         "E07 (§5.3) Statistical Corrector on top of TAGE+IUM+loop, scenario [A]",
         &["configuration", "MPPKI", "paper"],
@@ -372,9 +401,13 @@ pub fn e07_sc(ctx: &ExpContext) {
 /// §5.4: the side predictors buy about what quadrupling the TAGE budget
 /// buys (ISL-TAGE ≈ 6 % fewer mispredictions ≈ a 2 Mbit TAGE).
 pub fn e08_isl(ctx: &ExpContext) {
-    let t512 = ctx.run(tage_512k, UpdateScenario::RereadAtRetire);
-    let isl = ctx.run(TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
-    let t2m = ctx.run(|| TageSystem::scaled_tage(2), UpdateScenario::RereadAtRetire);
+    let t512 = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire);
+    let isl = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
+    let t2m = ctx.run_cached(
+        &scaled_tage_label(2),
+        || TageSystem::scaled_tage(2),
+        UpdateScenario::RereadAtRetire,
+    );
     let mut t = Table::new(
         "E08 (§5.4) ISL-TAGE vs scaling the TAGE budget, scenario [A]",
         &["configuration", "storage", "MPPKI", "vs TAGE 512K"],
@@ -405,15 +438,16 @@ pub fn e08_isl(ctx: &ExpContext) {
 /// 559, 512 Kbit TAGE-LSC 562 vs ISL-TAGE 581.
 pub fn e09_lsc(ctx: &ExpContext) {
     let rows: Vec<(&str, SuiteReport, &str)> = vec![
-        ("TAGE+IUM", ctx.run(TageSystem::tage_ium, UpdateScenario::RereadAtRetire), "611"),
+        ("TAGE+IUM", ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, UpdateScenario::RereadAtRetire), "611"),
         (
             "TAGE+IUM+loop+SC+LSC (full)",
-            ctx.run(TageSystem::full_stack, UpdateScenario::RereadAtRetire),
+            ctx.run_cached("full-stack", TageSystem::full_stack, UpdateScenario::RereadAtRetire),
             "555",
         ),
         (
             "TAGE+IUM+LSC (LSC alone)",
-            ctx.run(
+            ctx.run_cached(
+                "tage-ium-lsc",
                 || TageSystem::tage_ium().with_lsc(Lsc::cbp_30kbit()),
                 UpdateScenario::RereadAtRetire,
             ),
@@ -421,10 +455,10 @@ pub fn e09_lsc(ctx: &ExpContext) {
         ),
         (
             "TAGE-LSC (512Kbit budget)",
-            ctx.run(TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
+            ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
             "562",
         ),
-        ("ISL-TAGE (same budget)", ctx.run(TageSystem::isl_tage, UpdateScenario::RereadAtRetire), "581"),
+        ("ISL-TAGE (same budget)", ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire), "581"),
     ];
     let mut t = Table::new(
         "E09 (§6.1) TAGE-LSC: local history through the statistical corrector",
@@ -473,13 +507,13 @@ pub fn e10_ablation(ctx: &ExpContext) {
         &["configuration", "storage Kbit", "MPPKI", "paper"],
     );
     for (name, cfg, paper) in variants {
-        let make = || {
+        let make = move || {
             TageSystem::new(cfg.clone())
                 .with_ium(tage::system::DEFAULT_IUM_CAPACITY)
                 .with_lsc(Lsc::cbp_30kbit())
         };
         let storage = make().storage_bits() / 1024;
-        let r = ctx.run(make, UpdateScenario::RereadAtRetire);
+        let r = ctx.run_cached(&format!("ablation:{name}"), make, UpdateScenario::RereadAtRetire);
         t.row(vec![name.into(), storage.to_string(), f1(r.mppki()), paper.into()]);
     }
     t.print();
@@ -501,8 +535,16 @@ pub fn e11_fig9(ctx: &ExpContext) {
     );
     let labels = ["128K", "256K", "512K", "1M", "2M", "4M", "8M", "16M", "32M"];
     for (i, delta) in (-2i32..=6).enumerate() {
-        let tage_r = ctx.run(|| TageSystem::scaled_tage(delta), UpdateScenario::RereadAtRetire);
-        let lsc_r = ctx.run(|| TageSystem::scaled_tage_lsc(delta), UpdateScenario::RereadAtRetire);
+        let tage_r = ctx.run_cached(
+            &scaled_tage_label(delta),
+            move || TageSystem::scaled_tage(delta),
+            UpdateScenario::RereadAtRetire,
+        );
+        let lsc_r = ctx.run_cached(
+            &format!("scaled-tage-lsc:{delta}"),
+            move || TageSystem::scaled_tage_lsc(delta),
+            UpdateScenario::RereadAtRetire,
+        );
         let client02 = lsc_r
             .reports
             .iter()
@@ -532,10 +574,10 @@ pub fn e11_fig9(ctx: &ExpContext) {
 /// ISL-TAGE / TAGE-LSC / OH-SNAP-style / FTL++-style predictors, plus the
 /// easy-33 and hard-7 group means.
 pub fn e12_fig10(ctx: &ExpContext) {
-    let isl = ctx.run(TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
-    let lsc = ctx.run(TageSystem::tage_lsc, UpdateScenario::RereadAtRetire);
-    let snap = ctx.run(Snap::cbp_512k, UpdateScenario::RereadAtRetire);
-    let ftl = ctx.run(Ftl::cbp_512k, UpdateScenario::RereadAtRetire);
+    let isl = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
+    let lsc = ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire);
+    let snap = ctx.run_cached("snap-512k", Snap::cbp_512k, UpdateScenario::RereadAtRetire);
+    let ftl = ctx.run_cached("ftl-512k", Ftl::cbp_512k, UpdateScenario::RereadAtRetire);
     let mut t = Table::new(
         "E12 (Fig. 10) The 7 least predictable traces, MPPKI",
         &["trace", "ISL-TAGE", "TAGE-LSC", "OH-SNAP*", "FTL++*"],
@@ -591,7 +633,7 @@ pub fn e12_fig10(ctx: &ExpContext) {
 pub fn e14_confidence(ctx: &ExpContext) {
     use tage::confidence::{classify, Confidence, ConfidenceStats};
     let mut stats = ConfidenceStats::default();
-    for trace in &ctx.traces {
+    for trace in ctx.traces.iter() {
         let mut p = Tage::reference_64kb();
         for ev in &trace.events {
             let b = ev.branch_info();
@@ -634,17 +676,22 @@ pub fn e13_cost_eff(ctx: &ExpContext) {
     let rows: Vec<(&str, SuiteReport, &str)> = vec![
         (
             "TAGE-LSC, 3-port, [A]",
-            ctx.run(TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
+            ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
             "562",
         ),
         (
             "+4-way interleaved, [A]",
-            ctx.run(TageSystem::tage_lsc_cost_effective, UpdateScenario::RereadAtRetire),
+            ctx.run_cached(
+                TAGE_LSC_CE,
+                TageSystem::tage_lsc_cost_effective,
+                UpdateScenario::RereadAtRetire,
+            ),
             "569",
         ),
         (
             "+no reread on correct, TAGE only ([C], LSC rereads)",
-            ctx.run(
+            ctx.run_cached(
+                "tage-lsc-ce-lscreread",
                 || TageSystem::tage_lsc_cost_effective().lsc_always_reread(),
                 UpdateScenario::RereadOnMispredict,
             ),
@@ -652,12 +699,20 @@ pub fn e13_cost_eff(ctx: &ExpContext) {
         ),
         (
             "+no reread on correct, all components [C]",
-            ctx.run(TageSystem::tage_lsc_cost_effective, UpdateScenario::RereadOnMispredict),
+            ctx.run_cached(
+                TAGE_LSC_CE,
+                TageSystem::tage_lsc_cost_effective,
+                UpdateScenario::RereadOnMispredict,
+            ),
             "575",
         ),
         (
             "fetch-only values everywhere [B] (rejected)",
-            ctx.run(TageSystem::tage_lsc_cost_effective, UpdateScenario::FetchOnly),
+            ctx.run_cached(
+                TAGE_LSC_CE,
+                TageSystem::tage_lsc_cost_effective,
+                UpdateScenario::FetchOnly,
+            ),
             "599",
         ),
     ];
@@ -680,4 +735,26 @@ pub fn e13_cost_eff(ctx: &ExpContext) {
         cost.area_reduction(),
         cost.energy_reduction()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::{simulate, PipelineConfig};
+    use workloads::suite::{by_name, Scale};
+
+    /// Guards the `scaled_tage_label(0) == REF_TAGE` memo aliasing: the
+    /// delta-0 Figure 9 point must be the reference TAGE bit-for-bit.
+    #[test]
+    fn scaled_zero_is_the_reference_config() {
+        let scaled = TageSystem::scaled_tage(0);
+        let reference = TageSystem::reference_tage();
+        assert_eq!(scaled.storage_bits(), reference.storage_bits());
+        let t = by_name("CLIENT03", Scale::Tiny).unwrap().generate();
+        let cfg = PipelineConfig::default();
+        let a = simulate(&mut TageSystem::scaled_tage(0), &t, UpdateScenario::RereadAtRetire, &cfg);
+        let b =
+            simulate(&mut TageSystem::reference_tage(), &t, UpdateScenario::RereadAtRetire, &cfg);
+        assert_eq!(a, b);
+    }
 }

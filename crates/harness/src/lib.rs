@@ -9,7 +9,9 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod runner;
 pub mod table;
 
-pub use ctx::ExpContext;
+pub use ctx::{ExpContext, ExpOptions};
+pub use runner::{SchedulerStats, SuiteRunner, WorkerPool};
 pub use table::Table;

@@ -1,0 +1,451 @@
+//! The deduplicating parallel suite scheduler.
+//!
+//! `tage_exp all` runs 15 experiments, and several of them independently
+//! re-simulate the *identical* (predictor, scenario) suite — the reference
+//! TAGE under scenario [A] alone is requested by five experiments. The
+//! [`SuiteRunner`] fixes both the redundancy and the scheduling:
+//!
+//! * one [`WorkerPool`] spans the whole invocation, so per-trace simulation
+//!   jobs from every experiment share the same worker threads instead of
+//!   each `run` call spawning (and joining) its own;
+//! * jobs are distributed round-robin across per-worker deques and idle
+//!   workers *steal* from their peers, so a straggler trace (CLIENT02 runs
+//!   3× longer than the rest) never leaves the other cores idle;
+//! * suite results are memoized by `(label, scenario, pipeline-config)`,
+//!   so duplicate requests are served from cache and counted — the
+//!   [`SchedulerStats`] counters make the dedup observable (and testable).
+
+use pipeline::{simulate, PipelineConfig, SuiteReport};
+use simkit::predictor::{Predictor, UpdateScenario};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use workloads::Trace;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// Per-worker job deques; workers pop their own front and steal from
+    /// peers' backs.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleep/wake coordination for idle workers.
+    idle: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn grab(&self, home: usize) -> Option<Job> {
+        // Own queue first (front: submission order)...
+        if let Some(j) = self.queues[home].lock().unwrap().pop_front() {
+            return Some(j);
+        }
+        // ...then steal from peers (back: the work they'd reach last).
+        let n = self.queues.len();
+        for d in 1..n {
+            if let Some(j) = self.queues[(home + d) % n].lock().unwrap().pop_back() {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// A fixed pool of worker threads executing boxed jobs, with per-worker
+/// deques and work stealing. Lives as long as its owner (the
+/// [`SuiteRunner`]), so consecutive suite runs reuse the same threads.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    next: AtomicU64,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads)
+            .map(|home| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("suite-worker-{home}"))
+                    .spawn(move || loop {
+                        if let Some(job) = shared.grab(home) {
+                            job();
+                            continue;
+                        }
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        // Re-check with the idle lock held: submitters
+                        // notify under this lock, so a job enqueued after
+                        // this second look is guaranteed to find us
+                        // already waiting (the timeout is belt and
+                        // braces, not load-bearing).
+                        let guard = shared.idle.lock().unwrap();
+                        if let Some(job) = shared.grab(home) {
+                            drop(guard);
+                            job();
+                            continue;
+                        }
+                        if shared.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let _unused = shared
+                            .wake
+                            .wait_timeout(guard, std::time::Duration::from_millis(50))
+                            .unwrap();
+                    })
+                    .expect("failed to spawn suite worker")
+            })
+            .collect();
+        Self { shared, next: AtomicU64::new(0), workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job on the next worker's deque (round-robin).
+    pub fn submit(&self, job: Job) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.shared.queues.len();
+        self.shared.queues[i].lock().unwrap().push_back(job);
+        let _guard = self.shared.idle.lock().unwrap();
+        self.shared.wake.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A fan-out of `n` jobs whose results are collected in submission order.
+/// A job that panics poisons the batch: the waiter re-raises the panic on
+/// its own thread instead of blocking forever on a slot that will never
+/// fill.
+struct Batch<T> {
+    state: Mutex<BatchState<T>>,
+    done: Condvar,
+}
+
+struct BatchState<T> {
+    slots: Vec<Option<T>>,
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl<T> Batch<T> {
+    fn new(n: usize) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(BatchState {
+                slots: (0..n).map(|_| None).collect(),
+                remaining: n,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Runs `job` for slot `index`, recording its result or its panic.
+    fn run(&self, index: usize, job: impl FnOnce() -> T) {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+        let mut s = self.state.lock().unwrap();
+        match result {
+            Ok(value) => {
+                debug_assert!(s.slots[index].is_none(), "slot {index} completed twice");
+                s.slots[index] = Some(value);
+            }
+            Err(payload) => s.panic = Some(payload),
+        }
+        s.remaining -= 1;
+        if s.remaining == 0 || s.panic.is_some() {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job finished, returning results in submission
+    /// order. Re-raises the first recorded job panic.
+    fn wait(&self) -> Vec<T> {
+        let mut s = self.state.lock().unwrap();
+        while s.remaining > 0 && s.panic.is_none() {
+            s = self.done.wait(s).unwrap();
+        }
+        if let Some(payload) = s.panic.take() {
+            drop(s);
+            std::panic::resume_unwind(payload);
+        }
+        s.slots.drain(..).map(|v| v.expect("batch slot unfilled")).collect()
+    }
+}
+
+/// Scheduler counters: how much simulation was requested vs actually run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Per-trace simulate jobs actually executed on the pool.
+    pub sim_jobs_run: u64,
+    /// Per-trace simulate jobs requested (run + served from cache).
+    pub sim_jobs_requested: u64,
+    /// Whole-suite requests served from the memo cache.
+    pub suite_memo_hits: u64,
+}
+
+type SuiteKey = (String, UpdateScenario, u64);
+
+/// Deduplicating parallel suite scheduler: a persistent [`WorkerPool`]
+/// plus a suite-result memo cache. See the module docs for the why.
+pub struct SuiteRunner {
+    pool: WorkerPool,
+    cache: Mutex<HashMap<SuiteKey, SuiteReport>>,
+    sim_jobs_run: AtomicU64,
+    sim_jobs_requested: AtomicU64,
+    suite_memo_hits: AtomicU64,
+}
+
+impl SuiteRunner {
+    /// A runner with `threads` pool workers (`None`: available
+    /// parallelism, capped at 16).
+    pub fn new(threads: Option<usize>) -> Self {
+        let threads = threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()).min(16));
+        Self {
+            pool: WorkerPool::new(threads),
+            cache: Mutex::new(HashMap::new()),
+            sim_jobs_run: AtomicU64::new(0),
+            sim_jobs_requested: AtomicU64::new(0),
+            suite_memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            sim_jobs_run: self.sim_jobs_run.load(Ordering::Relaxed),
+            sim_jobs_requested: self.sim_jobs_requested.load(Ordering::Relaxed),
+            suite_memo_hits: self.suite_memo_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Simulates a fresh `make()` predictor over every trace, one pool job
+    /// per trace, returning reports in suite order. Never consults the
+    /// memo cache.
+    pub fn run_suite<P, F>(
+        &self,
+        traces: &Arc<Vec<Trace>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        let n = traces.len();
+        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed);
+        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed);
+        let make = Arc::new(make);
+        let batch = Batch::new(n);
+        for i in 0..n {
+            let make = Arc::clone(&make);
+            let traces = Arc::clone(traces);
+            let batch = Arc::clone(&batch);
+            let cfg = cfg.clone();
+            self.pool.submit(Box::new(move || {
+                batch.run(i, || simulate(&mut make(), &traces[i], scenario, &cfg));
+            }));
+        }
+        SuiteReport::new(batch.wait())
+    }
+
+    /// Like [`SuiteRunner::run_suite`], but memoized by
+    /// `(label, scenario, config)`: the first request computes, duplicates
+    /// are served from cache.
+    ///
+    /// `label` must uniquely identify the predictor configuration `make`
+    /// builds — two different configurations sharing a label would wrongly
+    /// share results ([`Predictor::name`] is *not* used precisely because
+    /// distinct configurations can render the same name).
+    pub fn run_suite_cached<P, F>(
+        &self,
+        label: &str,
+        traces: &Arc<Vec<Trace>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        let key = (label.to_string(), scenario, cfg_fingerprint(cfg));
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            self.suite_memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.sim_jobs_requested.fetch_add(traces.len() as u64, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let report = self.run_suite(traces, cfg, make, scenario);
+        self.cache.lock().unwrap().insert(key, report.clone());
+        report
+    }
+
+}
+
+/// Collapses the pipeline configuration to a cache-key fingerprint. The
+/// timing parameters fully determine simulation behaviour for a given
+/// predictor + scenario (the cache state itself starts cold every run).
+fn cfg_fingerprint(cfg: &PipelineConfig) -> u64 {
+    let mut h = 0xCBF29CE484222325u64;
+    for v in [
+        cfg.retire_lag as u64,
+        cfg.core.refill_penalty,
+        cfg.core.min_exec_lag as u64,
+        cfg.core.memory.memory_latency,
+    ] {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::SimReport;
+    use workloads::suite::{generate_parallel, Scale};
+
+    fn tiny_traces() -> Arc<Vec<Trace>> {
+        Arc::new(generate_parallel(Scale::Tiny, None, None))
+    }
+
+    #[test]
+    fn pool_runs_all_jobs_with_stealing() {
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let batch = Batch::new(64);
+        for i in 0..64u64 {
+            let counter = Arc::clone(&counter);
+            let batch = Arc::clone(&batch);
+            pool.submit(Box::new(move || {
+                batch.run(i as usize, || {
+                    // Uneven job sizes force stealing off the loaded deques.
+                    if i % 7 == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    counter.fetch_add(i, Ordering::Relaxed);
+                    i
+                });
+            }));
+        }
+        let results = batch.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 64 * 63 / 2);
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_propagates_instead_of_hanging() {
+        let pool = WorkerPool::new(2);
+        let batch: Arc<Batch<u64>> = Batch::new(3);
+        for i in 0..3usize {
+            let batch = Arc::clone(&batch);
+            pool.submit(Box::new(move || {
+                batch.run(i, || {
+                    if i == 1 {
+                        panic!("boom in job {i}");
+                    }
+                    i as u64
+                });
+            }));
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| batch.wait()))
+            .expect_err("wait must re-raise the job panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom in job 1"), "unexpected payload: {msg}");
+    }
+
+    #[test]
+    fn memoized_suite_is_computed_once() {
+        let runner = SuiteRunner::new(Some(2));
+        let traces = tiny_traces();
+        let cfg = PipelineConfig::default();
+        let a = runner.run_suite_cached(
+            "bimodal-test",
+            &traces,
+            &cfg,
+            || baselines::Bimodal::new(4096, 2),
+            UpdateScenario::RereadAtRetire,
+        );
+        let stats = runner.stats();
+        assert_eq!(stats.sim_jobs_run, 40);
+        assert_eq!(stats.suite_memo_hits, 0);
+        let b = runner.run_suite_cached(
+            "bimodal-test",
+            &traces,
+            &cfg,
+            || baselines::Bimodal::new(4096, 2),
+            UpdateScenario::RereadAtRetire,
+        );
+        let stats = runner.stats();
+        assert_eq!(stats.sim_jobs_run, 40, "duplicate suite must not re-simulate");
+        assert_eq!(stats.sim_jobs_requested, 80);
+        assert_eq!(stats.suite_memo_hits, 1);
+        assert_eq!(a.reports, b.reports);
+        // A different scenario is a different key.
+        runner.run_suite_cached(
+            "bimodal-test",
+            &traces,
+            &cfg,
+            || baselines::Bimodal::new(4096, 2),
+            UpdateScenario::FetchOnly,
+        );
+        assert_eq!(runner.stats().sim_jobs_run, 80);
+    }
+
+    #[test]
+    fn pooled_suite_matches_serial_in_order() {
+        let runner = SuiteRunner::new(Some(3));
+        let traces = tiny_traces();
+        let cfg = PipelineConfig::default();
+        let pooled = runner.run_suite(
+            &traces,
+            &cfg,
+            || baselines::Gshare::new(10),
+            UpdateScenario::RereadOnMispredict,
+        );
+        for (r, t) in pooled.reports.iter().zip(traces.iter()) {
+            assert_eq!(r.trace, t.name);
+        }
+        let serial: Vec<SimReport> = traces
+            .iter()
+            .map(|t| {
+                simulate(
+                    &mut baselines::Gshare::new(10),
+                    t,
+                    UpdateScenario::RereadOnMispredict,
+                    &cfg,
+                )
+            })
+            .collect();
+        assert_eq!(pooled.reports, serial);
+    }
+
+}

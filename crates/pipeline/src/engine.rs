@@ -12,7 +12,7 @@ use crate::report::SimReport;
 use simkit::predictor::{Predictor, UpdateScenario};
 use simkit::stats::AccessStats;
 use std::collections::VecDeque;
-use workloads::event::Trace;
+use workloads::event::{EventSource, Trace, TraceStream};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -41,18 +41,40 @@ struct Inflight<F> {
 
 /// Simulates one predictor over one trace under one update scenario.
 ///
-/// Under [`UpdateScenario::Immediate`] the window is bypassed entirely
-/// (oracle fetch-time update); the other scenarios run the full in-flight
-/// window.
+/// Thin wrapper over [`simulate_source`] streaming the materialized trace;
+/// the two paths are bit-identical.
 pub fn simulate<P: Predictor>(
     predictor: &mut P,
     trace: &Trace,
     scenario: UpdateScenario,
     cfg: &PipelineConfig,
 ) -> SimReport {
+    simulate_source(predictor, &mut TraceStream::new(trace), scenario, cfg)
+}
+
+/// Simulates one predictor over any [`EventSource`] under one update
+/// scenario. Memory use is bounded by the in-flight window, not the trace
+/// length, so arbitrarily long streamed traces are feasible.
+///
+/// Under [`UpdateScenario::Immediate`] the window is bypassed entirely
+/// (oracle fetch-time update); the other scenarios run the full in-flight
+/// window.
+pub fn simulate_source<P: Predictor, S: EventSource>(
+    predictor: &mut P,
+    source: &mut S,
+    scenario: UpdateScenario,
+    cfg: &PipelineConfig,
+) -> SimReport {
     predictor.reset_stats();
     let mut core = cfg.core.clone();
-    let mut window: VecDeque<Inflight<P::Flight>> = VecDeque::new();
+    let mut window: VecDeque<Inflight<P::Flight>> = VecDeque::with_capacity(cfg.retire_lag + 64);
+    // Window entries not yet executed, as sequence numbers in program
+    // order; `base` is the sequence number of `window.front()`. Scanning
+    // only these (instead of the whole window) keeps the per-branch cost
+    // proportional to the execute lag rather than the retire lag, while
+    // visiting due branches in exactly the order the full scan would.
+    let mut pending_exec: VecDeque<usize> = VecDeque::new();
+    let mut base = 0usize;
     let mut mispredicts = 0u64;
     let mut penalty = 0u64;
     let mut uops = 0u64;
@@ -60,7 +82,7 @@ pub fn simulate<P: Predictor>(
     let immediate = scenario == UpdateScenario::Immediate;
 
     let mut fetch_index = 0usize;
-    for ev in &trace.events {
+    while let Some(ev) = source.next_event() {
         uops += ev.uops();
         let b = ev.branch_info();
         if !b.kind.is_conditional() {
@@ -80,6 +102,7 @@ pub fn simulate<P: Predictor>(
             predictor.execute(&b, ev.taken, &mut flight);
             predictor.retire(&b, ev.taken, pred, flight, scenario);
         } else {
+            pending_exec.push_back(base + window.len());
             window.push_back(Inflight {
                 branch: b,
                 outcome: ev.taken,
@@ -89,37 +112,48 @@ pub fn simulate<P: Predictor>(
                 retire_at: fetch_index + cfg.retire_lag.max(exec_lag + 1),
                 executed: false,
             });
-            // Execute every branch whose resolution completed.
-            for inflight in window.iter_mut() {
-                if !inflight.executed && inflight.exec_at <= fetch_index {
+            // Execute every branch whose resolution completed, in program
+            // order.
+            let mut k = 0;
+            while k < pending_exec.len() {
+                let seq = pending_exec[k];
+                let inflight = &mut window[seq - base];
+                if inflight.exec_at <= fetch_index {
                     let ib = inflight.branch;
                     let io = inflight.outcome;
                     predictor.execute(&ib, io, &mut inflight.flight);
                     inflight.executed = true;
+                    pending_exec.remove(k);
+                } else {
+                    k += 1;
                 }
             }
             // Retire in order.
             while window.front().is_some_and(|f| f.retire_at <= fetch_index) {
                 let mut f = window.pop_front().unwrap();
                 if !f.executed {
+                    pending_exec.pop_front();
                     predictor.execute(&f.branch, f.outcome, &mut f.flight);
                 }
+                base += 1;
                 predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
             }
         }
         fetch_index += 1;
     }
-    // Drain the window at trace end.
+    // Drain the window at trace end (`base` no longer needs maintaining:
+    // nothing indexes the window after this).
     while let Some(mut f) = window.pop_front() {
         if !f.executed {
+            pending_exec.pop_front();
             predictor.execute(&f.branch, f.outcome, &mut f.flight);
         }
         predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
     }
 
     SimReport {
-        trace: trace.name.clone(),
-        category: trace.category.clone(),
+        trace: source.name().to_string(),
+        category: source.category().to_string(),
         predictor: predictor.name(),
         scenario,
         uops,
@@ -217,6 +251,46 @@ mod tests {
         let mut p2 = Bimodal::new(4096, 2);
         let r2 = simulate(&mut p2, &t, UpdateScenario::RereadAtRetire, &PipelineConfig::default());
         assert_eq!(r2.stats.retire_reads, r2.conditionals);
+    }
+
+    #[test]
+    fn streamed_source_matches_materialized_bit_for_bit() {
+        // The same spec driven as a lazy ProgramStream and as a
+        // materialized Vec<Trace> slice must produce identical SimReports,
+        // for every scenario (the §4.1.2 window behaviours all exercise
+        // the in-flight bookkeeping differently).
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let trace = spec.generate();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let materialized = simulate(&mut Gshare::new(12), &trace, scenario, &cfg);
+            let streamed =
+                simulate_source(&mut Gshare::new(12), &mut spec.stream(), scenario, &cfg);
+            assert_eq!(streamed, materialized, "scenario {scenario} diverged");
+        }
+    }
+
+    #[test]
+    fn streamed_source_matches_for_stateful_predictor() {
+        // TAGE-LSC exercises IUM execute ordering; a load-heavy hard trace
+        // exercises variable execute lags through the pending-execute
+        // queue.
+        let spec = by_name("MM05", Scale::Tiny).unwrap();
+        let trace = spec.generate();
+        let cfg = PipelineConfig::default();
+        let materialized = simulate(
+            &mut tage::TageSystem::tage_lsc(),
+            &trace,
+            UpdateScenario::RereadOnMispredict,
+            &cfg,
+        );
+        let streamed = simulate_source(
+            &mut tage::TageSystem::tage_lsc(),
+            &mut spec.stream(),
+            UpdateScenario::RereadOnMispredict,
+            &cfg,
+        );
+        assert_eq!(streamed, materialized);
     }
 
     #[test]

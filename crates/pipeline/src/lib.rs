@@ -34,5 +34,5 @@ pub mod engine;
 pub mod report;
 
 pub use core_model::{CoreModel, MemoryHierarchy};
-pub use engine::{simulate, simulate_suite, PipelineConfig};
+pub use engine::{simulate, simulate_source, simulate_suite, PipelineConfig};
 pub use report::{SimReport, SuiteReport};

@@ -8,7 +8,11 @@ use simkit::predictor::UpdateScenario;
 use simkit::stats::AccessStats;
 
 /// Result of simulating one predictor over one trace.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every counter bit-for-bit — the equivalence tests
+/// use it to assert that streamed and materialized simulation agree
+/// exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SimReport {
     /// Trace name.
     pub trace: String,

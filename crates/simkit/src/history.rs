@@ -33,7 +33,9 @@ const CAPACITY: usize = 8192;
 /// ```
 #[derive(Clone)]
 pub struct GlobalHistory {
-    buf: Vec<u8>,
+    /// Fixed-size boxed array: masked indexing is provably in-bounds, so
+    /// the (very hot) `bit` reads compile without bounds checks.
+    buf: Box<[u8; CAPACITY]>,
     /// Index of the most recent bit.
     head: usize,
     pushed: u64,
@@ -42,7 +44,7 @@ pub struct GlobalHistory {
 impl GlobalHistory {
     /// Creates an empty history (all zeros).
     pub fn new() -> Self {
-        Self { buf: vec![0; CAPACITY], head: 0, pushed: 0 }
+        Self { buf: vec![0u8; CAPACITY].into_boxed_slice().try_into().unwrap(), head: 0, pushed: 0 }
     }
 
     /// Pushes the newest branch outcome.
@@ -147,8 +149,18 @@ impl FoldedHistory {
     /// bit that just fell out of the window (bit `length` of `gh`).
     #[inline]
     pub fn update(&mut self, gh: &GlobalHistory) {
-        self.comp = (self.comp << 1) | gh.bit(0);
-        self.comp ^= gh.bit(self.length) << self.outpoint;
+        self.update_split(gh.bit(0), gh.bit(self.length));
+    }
+
+    /// [`FoldedHistory::update`] with the two history bits supplied by the
+    /// caller — `in_bit` the newest bit (bit 0), `out_bit` the bit leaving
+    /// the window (bit `length`). Lets callers maintaining several folds
+    /// of the *same* length (TAGE's index + two tag folds per table) read
+    /// the history buffer once per table instead of once per fold.
+    #[inline]
+    pub fn update_split(&mut self, in_bit: u64, out_bit: u64) {
+        self.comp = (self.comp << 1) | in_bit;
+        self.comp ^= out_bit << self.outpoint;
         self.comp ^= self.comp >> self.width;
         self.comp &= mask(self.width);
     }

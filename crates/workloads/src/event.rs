@@ -1,4 +1,5 @@
-//! Trace event and trace container types.
+//! Trace event and trace container types, and the [`EventSource`]
+//! streaming abstraction the simulation pipeline consumes.
 
 use serde::{Deserialize, Serialize};
 use simkit::predictor::{BranchInfo, BranchKind};
@@ -74,6 +75,85 @@ impl Trace {
     }
 }
 
+/// A pull-based stream of trace events plus the metadata reports need.
+///
+/// This is the interface the simulation engine consumes: a fully
+/// materialized [`Trace`] (via [`TraceStream`]), a lazily generated
+/// program execution ([`crate::program::ProgramStream`]), or anything
+/// else that can produce [`TraceEvent`]s one at a time. Streaming keeps
+/// memory proportional to the in-flight window instead of the trace
+/// length, which is what makes very long traces feasible.
+pub trait EventSource {
+    /// Trace name, e.g. `"CLIENT02"` (for reports).
+    fn name(&self) -> &str;
+
+    /// Category name, e.g. `"CLIENT"` (for reports).
+    fn category(&self) -> &str;
+
+    /// Produces the next event, or `None` at end of stream.
+    fn next_event(&mut self) -> Option<TraceEvent>;
+
+    /// Materializes the remaining stream into a [`Trace`].
+    fn collect_trace(mut self) -> Trace
+    where
+        Self: Sized,
+    {
+        let name = self.name().to_string();
+        let category = self.category().to_string();
+        let mut events = Vec::new();
+        while let Some(e) = self.next_event() {
+            events.push(e);
+        }
+        Trace { name, category, events }
+    }
+}
+
+/// A borrowing [`EventSource`] over a materialized [`Trace`].
+#[derive(Clone, Debug)]
+pub struct TraceStream<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceStream<'a> {
+    /// Streams `trace` from the beginning.
+    pub fn new(trace: &'a Trace) -> Self {
+        Self { trace, pos: 0 }
+    }
+}
+
+impl EventSource for TraceStream<'_> {
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+
+    fn category(&self) -> &str {
+        &self.trace.category
+    }
+
+    #[inline]
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        let e = self.trace.events.get(self.pos).copied();
+        self.pos += e.is_some() as usize;
+        e
+    }
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.next_event()
+    }
+}
+
+impl Trace {
+    /// A streaming view of this trace.
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream::new(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,5 +196,31 @@ mod tests {
         let b = e.branch_info();
         assert_eq!(b.pc, 0x100);
         assert!(b.kind.is_conditional());
+    }
+
+    #[test]
+    fn trace_stream_yields_events_in_order() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: vec![ev(4, true, 3), ev(8, false, 0), ev(12, true, 1)],
+        };
+        let streamed: Vec<TraceEvent> = t.stream().collect();
+        assert_eq!(streamed, t.events);
+        let mut s = t.stream();
+        assert_eq!(s.name(), "t");
+        assert_eq!(s.category(), "TEST");
+        while s.next_event().is_some() {}
+        assert_eq!(s.next_event(), None);
+    }
+
+    #[test]
+    fn collect_trace_round_trips() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: vec![ev(4, true, 3), ev(8, false, 0)],
+        };
+        assert_eq!(t.stream().collect_trace(), t);
     }
 }

@@ -6,10 +6,16 @@
 //! records) so the repository needs no serialization-format dependency.
 
 use crate::event::{Trace, TraceEvent};
+use crate::suite::Scale;
 use simkit::predictor::BranchKind;
 use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"TAGETRC1";
+
+/// On-disk codec format version; part of every cache file name so stale
+/// caches are simply ignored when the format evolves.
+pub const FORMAT_VERSION: u32 = 1;
 
 fn kind_code(k: BranchKind) -> u8 {
     match k {
@@ -131,6 +137,71 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
     Ok(Trace { name, category, events })
 }
 
+/// An on-disk trace cache over the [`write_trace`]/[`read_trace`] codec,
+/// keyed by `(trace name, scale, format version)`.
+///
+/// Generating a trace is deterministic but not free — at large scales it
+/// dominates experiment start-up — so the harness can persist generated
+/// traces here and reload them on the next invocation. The cache is purely
+/// an accelerator: every entry can be regenerated from its seed, corrupt
+/// or missing files are treated as misses, and store failures are
+/// non-fatal to callers.
+#[derive(Clone, Debug)]
+pub struct TraceCache {
+    dir: PathBuf,
+}
+
+impl TraceCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The file a `(name, scale)` pair maps to under the current
+    /// [`FORMAT_VERSION`].
+    pub fn path(&self, name: &str, scale: Scale) -> PathBuf {
+        self.dir.join(format!("{name}.{scale}.v{FORMAT_VERSION}.trace"))
+    }
+
+    /// Loads a cached trace, or `None` on a miss. A file that exists but
+    /// fails to decode, or whose recorded name disagrees with the key, is
+    /// a miss (never an error): the caller regenerates and overwrites.
+    pub fn load(&self, name: &str, scale: Scale) -> Option<Trace> {
+        let f = std::fs::File::open(self.path(name, scale)).ok()?;
+        let t = read_trace(&mut io::BufReader::new(f)).ok()?;
+        (t.name == name).then_some(t)
+    }
+
+    /// Persists a trace under its `(name, scale, version)` key, writing to
+    /// a temporary file first so concurrent readers never observe a
+    /// partial entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming the file.
+    pub fn store(&self, trace: &Trace, scale: Scale) -> io::Result<PathBuf> {
+        let path = self.path(&trace.name, scale);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        {
+            let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+            write_trace(&mut w, trace)?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +229,44 @@ mod tests {
         write_trace(&mut buf, &t).unwrap();
         buf.truncate(buf.len() / 2);
         assert!(read_trace(&mut buf.as_slice()).is_err());
+    }
+
+    fn temp_cache(tag: &str) -> TraceCache {
+        let dir = std::env::temp_dir()
+            .join(format!("tage-trace-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TraceCache::new(dir).unwrap()
+    }
+
+    #[test]
+    fn cache_miss_then_hit() {
+        let cache = temp_cache("hit");
+        assert!(cache.load("MM03", Scale::Tiny).is_none());
+        let t = by_name("MM03", Scale::Tiny).unwrap().generate();
+        cache.store(&t, Scale::Tiny).unwrap();
+        assert_eq!(cache.load("MM03", Scale::Tiny).unwrap(), t);
+        // A different scale is a different key.
+        assert!(cache.load("MM03", Scale::Small).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_treats_corruption_as_miss() {
+        let cache = temp_cache("corrupt");
+        let t = by_name("WS02", Scale::Tiny).unwrap().generate();
+        let path = cache.store(&t, Scale::Tiny).unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
+        assert!(cache.load("WS02", Scale::Tiny).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn cache_file_names_carry_version_and_scale() {
+        let cache = temp_cache("names");
+        let p = cache.path("CLIENT01", Scale::Default);
+        let f = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(f, format!("CLIENT01.default.v{FORMAT_VERSION}.trace"));
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]

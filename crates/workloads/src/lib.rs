@@ -41,6 +41,8 @@ pub mod program;
 pub mod stats;
 pub mod suite;
 
-pub use event::{Trace, TraceEvent};
+pub use event::{EventSource, Trace, TraceEvent, TraceStream};
+pub use io::TraceCache;
+pub use program::ProgramStream;
 pub use stats::TraceStats;
-pub use suite::{suite, Category, Scale, TraceSpec};
+pub use suite::{generate_parallel, suite, Category, Scale, TraceSpec};

@@ -8,8 +8,9 @@
 //! pressure), how many static branches compete for predictor entries.
 
 use crate::behavior::{Behavior, GenCtx};
-use crate::event::{Trace, TraceEvent};
+use crate::event::{EventSource, Trace, TraceEvent};
 use simkit::predictor::BranchKind;
+use std::collections::VecDeque;
 
 /// A static conditional branch site.
 #[derive(Clone, Debug)]
@@ -254,20 +255,94 @@ impl Program {
     /// Executes the program until `budget` conditional branches have been
     /// emitted, returning the materialized trace.
     ///
-    /// The same `Program` (same seed) always produces the same trace.
+    /// The same `Program` (same seed) always produces the same trace, and
+    /// this is exactly [`Program::stream`] collected — the two paths are
+    /// bit-identical by construction.
     pub fn generate(&self, budget: usize) -> Trace {
-        let mut ctx = GenCtx::new(self.seed);
-        let mut em = Emitter {
-            events: Vec::with_capacity(budget + budget / 8),
-            conditionals: 0,
+        self.stream(budget).collect_trace()
+    }
+
+    /// Lazily executes the program as an [`EventSource`], holding only one
+    /// control-flow-tree pass of events in memory at a time instead of the
+    /// whole trace.
+    pub fn stream(&self, budget: usize) -> ProgramStream {
+        ProgramStream {
+            name: self.name.clone(),
+            category: self.category.clone(),
+            root: self.root.clone(),
+            ctx: GenCtx::new(self.seed),
+            loads: self.loads,
             budget,
+            conditionals: 0,
+            buf: VecDeque::new(),
+        }
+    }
+}
+
+/// A lazily generated program execution: events are produced one
+/// control-flow-tree pass at a time, so memory stays proportional to the
+/// tree (not the conditional-branch budget). Produced by
+/// [`Program::stream`].
+#[derive(Clone, Debug)]
+pub struct ProgramStream {
+    name: String,
+    category: String,
+    root: Node,
+    ctx: GenCtx,
+    loads: LoadModel,
+    budget: usize,
+    conditionals: usize,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl ProgramStream {
+    /// Runs one pass over the control-flow tree, buffering its events.
+    /// Mirrors the generation loop: the tree state (pattern positions,
+    /// phase counters) and the RNG persist across passes.
+    fn refill(&mut self) {
+        let mut em = Emitter {
+            events: Vec::new(),
+            conditionals: self.conditionals,
+            budget: self.budget,
             loads: self.loads,
         };
-        let mut root = self.root.clone();
-        while !em.full() {
-            exec(&mut root, &mut ctx, &mut em);
+        exec(&mut self.root, &mut self.ctx, &mut em);
+        self.conditionals = em.conditionals;
+        self.buf = em.events.into();
+    }
+}
+
+impl EventSource for ProgramStream {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn category(&self) -> &str {
+        &self.category
+    }
+
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        while self.buf.is_empty() {
+            if self.conditionals >= self.budget {
+                return None;
+            }
+            let before = self.conditionals;
+            self.refill();
+            if self.buf.is_empty() && self.conditionals == before {
+                // A tree that emits nothing can never fill the budget;
+                // end the stream instead of spinning.
+                return None;
+            }
         }
-        Trace { name: self.name.clone(), category: self.category.clone(), events: em.events }
+        self.buf.pop_front()
+    }
+}
+
+impl Iterator for ProgramStream {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.next_event()
     }
 }
 
@@ -388,6 +463,44 @@ mod tests {
         let p = prog(Node::Site(site));
         let t = p.generate(100);
         assert!(t.events.iter().all(|e| e.load_addr.is_some()));
+    }
+
+    #[test]
+    fn stream_is_bit_identical_to_generate() {
+        // Cover every node kind: loops, select, uncond, plain sites.
+        let mut alloc = PcAlloc::new(0x50_0000);
+        let sites: Vec<Site> =
+            (0..32).map(|_| Site::new(alloc.pc(), Behavior::Bias { p: 0.9 })).collect();
+        let p = prog(Node::Seq(vec![
+            Node::Site(Site::new(0x100, Behavior::Bias { p: 0.7 }).load(0.5)),
+            Node::Loop {
+                site: Site::new(0x200, Behavior::Random),
+                trip: Trip::Uniform(2, 9),
+                body: Box::new(Node::Site(Site::new(0x240, Behavior::Random))),
+            },
+            Node::Select { sites, per_visit: 4 },
+            Node::Uncond { pc: 0x300, kind: BranchKind::Call, target: 0x8000 },
+        ]));
+        let materialized = p.generate(3000);
+        let streamed: Vec<TraceEvent> = p.stream(3000).collect();
+        assert_eq!(streamed, materialized.events);
+    }
+
+    #[test]
+    fn stream_metadata_and_exhaustion() {
+        let p = prog(Node::Site(Site::new(0x100, Behavior::Random)));
+        let mut s = p.stream(10);
+        assert_eq!(s.name(), "test");
+        assert_eq!(s.category(), "TEST");
+        let n = s.by_ref().count();
+        assert_eq!(n, 10);
+        assert_eq!(s.next_event(), None);
+    }
+
+    #[test]
+    fn empty_tree_stream_terminates() {
+        let p = prog(Node::Seq(vec![]));
+        assert_eq!(p.stream(5).count(), 0);
     }
 
     #[test]

@@ -95,6 +95,23 @@ impl Scale {
             _ => None,
         }
     }
+
+    /// Lower-case name, the inverse of [`Scale::parse`] (also the scale
+    /// component of trace-cache file names).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// A named, reproducible trace recipe.
@@ -116,6 +133,12 @@ impl TraceSpec {
         self.program.generate(self.budget)
     }
 
+    /// Streams the trace lazily (deterministic, bit-identical to
+    /// [`TraceSpec::generate`]) without materializing it.
+    pub fn stream(&self) -> crate::program::ProgramStream {
+        self.program.stream(self.budget)
+    }
+
     /// Conditional-branch budget of this spec.
     pub fn budget(&self) -> usize {
         self.budget
@@ -135,6 +158,48 @@ pub fn suite(scale: Scale) -> Vec<TraceSpec> {
         }
     }
     specs
+}
+
+/// Materializes the full suite at `scale`, generating traces in parallel
+/// across up to `threads` worker threads (clamped to the trace count;
+/// `None` uses the available parallelism). Order and content are identical
+/// to generating each [`TraceSpec`] serially.
+///
+/// With a `cache`, traces found on disk are loaded instead of generated,
+/// and freshly generated traces are persisted for the next run; cache I/O
+/// errors fall back to generation silently (the cache is an accelerator,
+/// never a correctness dependency).
+pub fn generate_parallel(
+    scale: Scale,
+    threads: Option<usize>,
+    cache: Option<&crate::io::TraceCache>,
+) -> Vec<Trace> {
+    let specs = suite(scale);
+    let threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()))
+        .clamp(1, specs.len());
+    let realize = |spec: &TraceSpec| -> Trace {
+        if let Some(c) = cache {
+            if let Some(t) = c.load(&spec.name, scale) {
+                return t;
+            }
+            let t = spec.generate();
+            let _ = c.store(&t, scale);
+            return t;
+        }
+        spec.generate()
+    };
+    if threads == 1 {
+        return specs.iter().map(realize).collect();
+    }
+    std::thread::scope(|s| {
+        let chunks: Vec<&[TraceSpec]> = specs.chunks(specs.len().div_ceil(threads)).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(|| chunk.iter().map(&realize).collect::<Vec<_>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("generator panicked")).collect()
+    })
 }
 
 /// Builds a single named trace (e.g. `"MM05"`) at the given scale.
@@ -737,8 +802,25 @@ mod tests {
             ("full", Scale::Full),
         ] {
             assert_eq!(Scale::parse(s), Some(v));
+            assert_eq!(Scale::parse(v.as_str()), Some(v));
+            assert_eq!(v.to_string(), s);
         }
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn spec_stream_matches_generate() {
+        let spec = by_name("CLIENT02", Scale::Tiny).unwrap();
+        use crate::event::EventSource;
+        assert_eq!(spec.stream().collect_trace(), spec.generate());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let serial: Vec<Trace> = suite(Scale::Tiny).iter().map(|s| s.generate()).collect();
+        let parallel = generate_parallel(Scale::Tiny, Some(7), None);
+        assert_eq!(parallel.len(), 40);
+        assert_eq!(parallel, serial);
     }
 
     #[test]

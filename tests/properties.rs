@@ -107,6 +107,34 @@ proptest! {
     }
 
     #[test]
+    fn trace_cache_round_trips_on_disk(n in 1usize..400) {
+        // write_trace/read_trace through the on-disk cache layer: store
+        // then load must reproduce the trace bit-for-bit, keyed by name.
+        use workloads::suite::Scale;
+        let dir = std::env::temp_dir()
+            .join(format!("tage-props-cache-{}", std::process::id()));
+        let cache = workloads::TraceCache::new(&dir).unwrap();
+        let spec = workloads::suite::by_name("MM02", Scale::Tiny).unwrap();
+        let mut trace = spec.generate();
+        trace.events.truncate(n);
+        cache.store(&trace, Scale::Tiny).unwrap();
+        let back = cache.load("MM02", Scale::Tiny).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        prop_assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn program_stream_prefix_matches_generate(budget in 1usize..900) {
+        // Streaming any budget yields exactly the materialized events.
+        let spec = workloads::suite::by_name("WS07", workloads::suite::Scale::Tiny).unwrap();
+        let program_stream = spec.stream();
+        let full = spec.generate();
+        let streamed: Vec<workloads::TraceEvent> =
+            program_stream.take(budget).collect();
+        prop_assert_eq!(&streamed[..], &full.events[..streamed.len()]);
+    }
+
+    #[test]
     fn tage_prediction_lifecycle_never_panics(
         pcs in proptest::collection::vec(1u64..1 << 20, 1..400),
         outcomes in proptest::collection::vec(any::<bool>(), 400)

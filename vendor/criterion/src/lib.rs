@@ -136,6 +136,30 @@ fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, id: &str, tp: Option<Through
         }
         _ => println!("{id:<40} {per_iter:>12} ns/iter"),
     }
+    append_json_record(id, per_iter, tp);
+}
+
+/// When `BENCH_JSON=<path>` is set, every measurement is also appended to
+/// `<path>` as one JSON object per line (`{"id", "ns_per_iter",
+/// "throughput_per_s"?}`): machine-readable output for CI artifacts that
+/// track the perf trajectory over time. Real criterion writes its own
+/// `target/criterion` JSON; this is the stand-in's minimal equivalent.
+fn append_json_record(id: &str, per_iter: u128, tp: Option<Throughput>) {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let rate = match tp {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if per_iter > 0 => {
+            format!(",\"throughput_per_s\":{:.0}", n as f64 * 1e9 / per_iter as f64)
+        }
+        _ => String::new(),
+    };
+    let line = format!("{{\"id\":\"{id}\",\"ns_per_iter\":{per_iter}{rate}}}\n");
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
 }
 
 /// Declares a function running each benchmark target in sequence.
