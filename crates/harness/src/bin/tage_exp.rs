@@ -2,23 +2,34 @@
 //!
 //! ```text
 //! tage_exp <experiment|all> [--scale tiny|small|default|full]
-//!          [--threads N] [--list]
+//!          [--threads N] [--stream] [--list]
+//! tage_exp trace <file...> [--threads N]
 //! ```
 //!
 //! Suite simulations are scheduled as per-trace jobs on a work-stealing
 //! pool spanning the whole invocation, and duplicate (predictor, scenario)
 //! suites are memoized — `tage_exp all` runs each unique suite exactly
 //! once. Set `TAGE_TRACE_CACHE=<dir>` to persist generated traces across
-//! invocations.
+//! invocations, or pass `--stream` to skip suite materialization entirely
+//! (each job regenerates its trace lazily; bit-identical results).
+//!
+//! `tage_exp trace` leaves the synthetic suite behind: it runs the full
+//! predictor matrix over external trace files (`.ttr`, CBP, CSV —
+//! autodetected), grouped into categories by trace metadata or filename
+//! prefix.
 
 use harness::experiments::{run, ALL_EXPERIMENTS};
-use harness::{ExpContext, ExpOptions};
+use harness::{trace_mode, ExpContext, ExpOptions};
 use workloads::suite::Scale;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(trace_files_mode(&args[1..]));
+    }
     let mut scale = Scale::Default;
     let mut threads: Option<usize> = None;
+    let mut stream = false;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -40,6 +51,7 @@ fn main() {
                     }
                 }
             }
+            "--stream" => stream = true,
             "--list" => {
                 for id in ALL_EXPERIMENTS {
                     println!("{id}");
@@ -85,12 +97,20 @@ fn main() {
     let start = std::time::Instant::now();
     let mut opts = ExpOptions::from_env();
     opts.threads = threads;
+    opts.stream = stream;
     let ctx = ExpContext::with_options(scale, opts);
-    println!(
-        "# generated 40 traces in {:.1}s ({} worker threads)",
-        start.elapsed().as_secs_f32(),
-        ctx.threads()
-    );
+    if ctx.streaming() {
+        println!(
+            "# stream mode: traces regenerate inside each job ({} worker threads)",
+            ctx.threads()
+        );
+    } else {
+        println!(
+            "# generated 40 traces in {:.1}s ({} worker threads)",
+            start.elapsed().as_secs_f32(),
+            ctx.threads()
+        );
+    }
     for id in ids {
         let t0 = std::time::Instant::now();
         // Every id was validated against ALL_EXPERIMENTS above, so the
@@ -110,12 +130,69 @@ fn main() {
 
 fn print_usage() {
     println!("usage: tage_exp <experiment|all> [--scale tiny|small|default|full]");
-    println!("                [--threads N] [--list]");
+    println!("                [--threads N] [--stream] [--list]");
+    println!("       tage_exp trace <file...> [--threads N]");
     println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
+    println!("  --stream      regenerate traces inside each job (no suite materialization)");
     println!("  --list        print the experiment ids and exit");
+    println!("  trace <file...>  run the predictor matrix over external trace files");
+    println!("                   (.ttr / cbp / csv, format autodetected)");
     println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");
     println!("experiments:");
     for id in ALL_EXPERIMENTS {
         println!("  {id}");
+    }
+}
+
+/// `tage_exp trace <files...>`: the predictor matrix over external trace
+/// files. Returns the process exit code.
+fn trace_files_mode(args: &[String]) -> i32 {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(t) if t >= 1 => threads = Some(t),
+                    _ => {
+                        eprintln!("--threads expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return 0;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}' for trace mode");
+                return 2;
+            }
+            other => files.push(other.into()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("trace mode: no trace files given");
+        print_usage();
+        return 2;
+    }
+    let start = std::time::Instant::now();
+    println!(
+        "# tage_exp trace: {} file(s), predictors: {}",
+        files.len(),
+        trace_mode::MATRIX.join(", ")
+    );
+    match trace_mode::run_files(&files, &pipeline::PipelineConfig::default(), threads) {
+        Ok(results) => {
+            print!("{}", trace_mode::render(&results));
+            println!("# trace mode done in {:.1}s", start.elapsed().as_secs_f32());
+            0
+        }
+        Err(e) => {
+            eprintln!("trace mode failed: {e}");
+            1
+        }
     }
 }

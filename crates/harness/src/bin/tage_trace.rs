@@ -1,0 +1,275 @@
+//! `tage_trace` — record, convert, and inspect external trace files.
+//!
+//! ```text
+//! tage_trace record <trace-name...|all> [--scale tiny|small|default|full]
+//!                   [--out DIR] [--format ttr|cbp|csv]
+//! tage_trace convert <input> <output> [--format ttr|cbp|csv]
+//! tage_trace inspect <file...>
+//! tage_trace formats
+//! ```
+//!
+//! `record` serializes synthetic suite traces to files (the bridge from
+//! the generator to the external-trace pipeline); `convert` transcodes any
+//! recognized format to any other (output format from the extension unless
+//! `--format` overrides); `inspect` streams a file and prints its vitals.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use traces::CodecRegistry;
+use workloads::event::EventSource;
+use workloads::suite::{by_name, suite, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("formats") => cmd_formats(),
+        Some("--help" | "-h") | None => {
+            print_usage();
+            if args.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand '{other}'");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!("usage: tage_trace record <trace-name...|all> [--scale tiny|small|default|full]");
+    println!("                         [--out DIR] [--format ttr|cbp|csv]");
+    println!("       tage_trace convert <input> <output> [--format ttr|cbp|csv]");
+    println!("       tage_trace inspect <file...>");
+    println!("       tage_trace formats");
+}
+
+/// `--flag value` pairs in parse order.
+type FlagPairs = Vec<(String, String)>;
+
+/// Splits `args` into positionals and the recognized `--flag value` pairs.
+fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, FlagPairs), String> {
+    let mut positional = Vec::new();
+    let mut pairs = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if flags.contains(&a.as_str()) {
+            let v = it.next().ok_or_else(|| format!("{a} expects a value"))?;
+            pairs.push((a.clone(), v.clone()));
+        } else if a.starts_with("--") {
+            return Err(format!("unknown flag '{a}'"));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, pairs))
+}
+
+fn flag<'a>(pairs: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    pairs.iter().rev().find(|(f, _)| f == name).map(|(_, v)| v.as_str())
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("{msg}");
+    print_usage();
+    2
+}
+
+fn io_fail(what: &str, e: &io::Error) -> i32 {
+    eprintln!("{what}: {e}");
+    1
+}
+
+fn cmd_record(args: &[String]) -> i32 {
+    let (names, pairs) = match parse_flags(args, &["--scale", "--out", "--format"]) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if names.is_empty() {
+        return usage_error("record: no trace names given");
+    }
+    let scale = match flag(&pairs, "--scale") {
+        None => Scale::Tiny,
+        Some(v) => match Scale::parse(v) {
+            Some(s) => s,
+            None => return usage_error(&format!("unknown scale '{v}'")),
+        },
+    };
+    let out = PathBuf::from(flag(&pairs, "--out").unwrap_or("."));
+    let registry = CodecRegistry::standard();
+    let format = flag(&pairs, "--format").unwrap_or("ttr");
+    let Some(codec) = registry.by_name(format) else {
+        return usage_error(&format!("unknown format '{format}' (see `tage_trace formats`)"));
+    };
+    let specs = if names.iter().any(|n| n == "all") {
+        suite(scale)
+    } else {
+        let mut specs = Vec::new();
+        for n in &names {
+            match by_name(n, scale) {
+                Some(s) => specs.push(s),
+                None => return usage_error(&format!("unknown trace '{n}'")),
+            }
+        }
+        specs
+    };
+    for spec in &specs {
+        let trace = spec.generate();
+        match harness::trace_mode::record_trace(&trace, codec, &out) {
+            Ok(path) => println!(
+                "recorded {} ({} events, {} conditionals) -> {}",
+                trace.name,
+                trace.events.len(),
+                trace.conditional_count(),
+                path.display()
+            ),
+            Err(e) => return io_fail(&format!("record {}", spec.name), &e),
+        }
+    }
+    0
+}
+
+fn cmd_convert(args: &[String]) -> i32 {
+    let (files, pairs) = match parse_flags(args, &["--format"]) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let [input, output] = files.as_slice() else {
+        return usage_error("convert: expected <input> <output>");
+    };
+    let (input, output) = (Path::new(input), Path::new(output));
+    let registry = CodecRegistry::standard();
+    let to = match flag(&pairs, "--format") {
+        Some(name) => match registry.by_name(name) {
+            Some(c) => c,
+            None => return usage_error(&format!("unknown format '{name}'")),
+        },
+        None => match registry.by_extension(output) {
+            Some(c) => c,
+            None => {
+                return usage_error(&format!(
+                    "cannot infer output format from '{}' (pass --format)",
+                    output.display()
+                ))
+            }
+        },
+    };
+    // Conversion is offline: materialize the decoded trace, then encode.
+    let mut source = match registry.open(input) {
+        Ok(s) => s,
+        Err(e) => return io_fail(&input.display().to_string(), &e),
+    };
+    let from_fmt = source.format();
+    let mut events = Vec::new();
+    while let Some(e) = source.next_event() {
+        events.push(e);
+    }
+    if let Err(e) = traces::finish(source.as_ref()) {
+        return io_fail(&input.display().to_string(), &e);
+    }
+    let trace = workloads::Trace {
+        name: source.name().to_string(),
+        category: source.category().to_string(),
+        events,
+    };
+    // Atomic like record: a mid-encode failure (e.g. a CBP-unrepresentable
+    // trace, a full disk) must not leave a partial file or destroy a
+    // pre-existing one at the destination.
+    let tmp = output.with_file_name(format!(
+        "{}.tmp.{}",
+        output.file_name().and_then(|s| s.to_str()).unwrap_or("out"),
+        std::process::id()
+    ));
+    let write = || -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        to.encode(&mut w, &trace)?;
+        use io::Write;
+        w.flush()?;
+        std::fs::rename(&tmp, output)
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return io_fail(&output.display().to_string(), &e);
+    }
+    println!(
+        "converted {} ({from_fmt}) -> {} ({}): {} events",
+        input.display(),
+        output.display(),
+        to.name(),
+        trace.events.len()
+    );
+    if to.lossy() {
+        println!("note: {} is lossy (µop padding and load dependences dropped)", to.name());
+    }
+    0
+}
+
+fn cmd_inspect(args: &[String]) -> i32 {
+    if args.is_empty() {
+        return usage_error("inspect: no files given");
+    }
+    let registry = CodecRegistry::standard();
+    let mut t = harness::Table::new(
+        "tage_trace inspect",
+        &["file", "format", "name", "category", "events", "conditionals", "static", "taken%"],
+    );
+    for f in args {
+        let path = Path::new(f);
+        let mut src = match registry.open(path) {
+            Ok(s) => s,
+            Err(e) => return io_fail(f, &e),
+        };
+        let mut events = 0u64;
+        let mut conditionals = 0u64;
+        let mut taken = 0u64;
+        let mut pcs = std::collections::HashSet::new();
+        while let Some(ev) = src.next_event() {
+            events += 1;
+            if ev.kind.is_conditional() {
+                conditionals += 1;
+                taken += u64::from(ev.taken);
+                pcs.insert(ev.pc);
+            }
+        }
+        if let Err(e) = traces::finish(src.as_ref()) {
+            return io_fail(f, &e);
+        }
+        t.row(vec![
+            path.file_name().and_then(|s| s.to_str()).unwrap_or(f).to_string(),
+            src.format().to_string(),
+            src.name().to_string(),
+            src.category().to_string(),
+            events.to_string(),
+            conditionals.to_string(),
+            pcs.len().to_string(),
+            format!("{:.1}", taken as f64 * 100.0 / conditionals.max(1) as f64),
+        ]);
+    }
+    t.print();
+    0
+}
+
+fn cmd_formats() -> i32 {
+    let registry = CodecRegistry::standard();
+    let mut t = harness::Table::new(
+        "registered trace codecs (detection: magic bytes, then extension)",
+        &["name", "extensions", "lossy", "description"],
+    );
+    for c in registry.codecs() {
+        t.row(vec![
+            c.name().to_string(),
+            c.extensions().join(","),
+            if c.lossy() { "yes" } else { "no" }.to_string(),
+            c.description().to_string(),
+        ]);
+    }
+    t.print();
+    0
+}

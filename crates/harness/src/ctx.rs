@@ -1,13 +1,26 @@
 //! Shared experiment context: the trace suite plus the deduplicating
 //! parallel scheduler every experiment runs through.
+//!
+//! The suite backs the context in one of two modes:
+//!
+//! * **materialized** (default) — the 40 traces are generated once up
+//!   front (in parallel, optionally through the on-disk cache) and shared
+//!   with the worker threads;
+//! * **streamed** (`ExpOptions::stream`) — only the 40 [`TraceSpec`]
+//!   recipes are kept; every simulation job regenerates its trace lazily
+//!   through [`TraceSpec::stream`], so suite memory never exceeds one
+//!   in-flight window per worker. Bit-identical to materialized mode (the
+//!   `streamed_suite_matches_materialized_bit_for_bit` test pins this),
+//!   at the price of per-job regeneration — worth it above `Scale::Full`.
 
 use crate::runner::{SchedulerStats, SuiteRunner};
 use pipeline::{PipelineConfig, SuiteReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use std::sync::Arc;
+use workloads::event::{EventSource, TraceStream};
 use workloads::io::TraceCache;
-use workloads::suite::{generate_parallel, Scale};
-use workloads::Trace;
+use workloads::suite::{generate_parallel, suite, Scale};
+use workloads::{Trace, TraceSpec, TraceStats};
 
 /// Construction options for [`ExpContext`].
 #[derive(Clone, Debug, Default)]
@@ -16,8 +29,12 @@ pub struct ExpOptions {
     /// parallelism, capped at 16).
     pub threads: Option<usize>,
     /// On-disk trace cache directory; generated traces are persisted here
-    /// and reloaded on later invocations.
+    /// and reloaded on later invocations. Ignored in stream mode (there is
+    /// nothing to persist).
     pub trace_cache: Option<std::path::PathBuf>,
+    /// Stream-first mode: regenerate traces inside each job instead of
+    /// materializing the suite.
+    pub stream: bool,
 }
 
 impl ExpOptions {
@@ -28,20 +45,26 @@ impl ExpOptions {
         Self {
             threads: None,
             trace_cache: std::env::var_os("TAGE_TRACE_CACHE").map(Into::into),
+            stream: false,
         }
     }
 }
 
-/// Everything an experiment needs: the 40 generated traces, the pipeline
-/// model, and the scheduler that runs (and memoizes) suite simulations.
+/// How the suite is held — see the module docs.
+enum SuiteSource {
+    Materialized(Arc<Vec<Trace>>),
+    Streamed(Arc<Vec<TraceSpec>>),
+}
+
+/// Everything an experiment needs: the 40-trace suite (materialized or
+/// streamed), the pipeline model, and the scheduler that runs (and
+/// memoizes) suite simulations.
 pub struct ExpContext {
     /// Trace scale in use.
     pub scale: Scale,
-    /// The 40 materialized traces, in suite order, shared with the
-    /// scheduler's worker threads.
-    pub traces: Arc<Vec<Trace>>,
     /// Pipeline configuration (in-flight window, core model).
     pub cfg: PipelineConfig,
+    source: SuiteSource,
     runner: SuiteRunner,
 }
 
@@ -51,14 +74,86 @@ impl ExpContext {
         Self::with_options(scale, ExpOptions::default())
     }
 
-    /// Generates the full suite at `scale`, generating traces in parallel
-    /// (through the on-disk cache when one is configured).
+    /// Builds the context at `scale`. In materialized mode traces are
+    /// generated in parallel (through the on-disk cache when one is
+    /// configured); in stream mode only the recipes are built.
     pub fn with_options(scale: Scale, opts: ExpOptions) -> Self {
         let runner = SuiteRunner::new(opts.threads);
-        let cache = opts.trace_cache.and_then(|dir| TraceCache::new(dir).ok());
-        let threads = Some(runner.pool().threads());
-        let traces = Arc::new(generate_parallel(scale, threads, cache.as_ref()));
-        Self { scale, traces, cfg: PipelineConfig::default(), runner }
+        let source = if opts.stream {
+            SuiteSource::Streamed(Arc::new(suite(scale)))
+        } else {
+            let cache = opts.trace_cache.and_then(|dir| TraceCache::new(dir).ok());
+            let threads = Some(runner.pool().threads());
+            SuiteSource::Materialized(Arc::new(generate_parallel(scale, threads, cache.as_ref())))
+        };
+        Self { scale, cfg: PipelineConfig::default(), source, runner }
+    }
+
+    /// Whether this context runs in stream-first mode.
+    pub fn streaming(&self) -> bool {
+        matches!(self.source, SuiteSource::Streamed(_))
+    }
+
+    /// Number of traces in the suite.
+    pub fn trace_count(&self) -> usize {
+        match &self.source {
+            SuiteSource::Materialized(ts) => ts.len(),
+            SuiteSource::Streamed(specs) => specs.len(),
+        }
+    }
+
+    /// The materialized traces, when not in stream mode (equivalence
+    /// tests compare against these).
+    pub fn materialized(&self) -> Option<&Arc<Vec<Trace>>> {
+        match &self.source {
+            SuiteSource::Materialized(ts) => Some(ts),
+            SuiteSource::Streamed(_) => None,
+        }
+    }
+
+    /// A fresh event source for suite trace `i` — a borrowing stream over
+    /// the materialized trace, or a lazy regeneration in stream mode.
+    /// Experiments that walk raw events use this so they work in both
+    /// modes with bounded memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn source_at(&self, i: usize) -> Box<dyn EventSource + '_> {
+        match &self.source {
+            SuiteSource::Materialized(ts) => Box::new(TraceStream::new(&ts[i])),
+            SuiteSource::Streamed(specs) => Box::new(specs[i].stream()),
+        }
+    }
+
+    /// Per-trace characterization statistics, in suite order. In stream
+    /// mode traces are regenerated across the scheduler's worker count
+    /// (one trace materialized per worker at a time — regeneration, the
+    /// dominant cost, stays parallel like the materialized path's).
+    pub fn trace_stats(&self) -> Vec<TraceStats> {
+        match &self.source {
+            SuiteSource::Materialized(ts) => ts.iter().map(TraceStats::of).collect(),
+            SuiteSource::Streamed(specs) => {
+                let threads = self.threads().clamp(1, specs.len().max(1));
+                std::thread::scope(|s| {
+                    let chunks = specs.chunks(specs.len().div_ceil(threads).max(1));
+                    let handles: Vec<_> = chunks
+                        .map(|chunk| {
+                            s.spawn(move || {
+                                chunk
+                                    .iter()
+                                    .map(|sp| TraceStats::of(&sp.stream().collect_trace()))
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("stats worker panicked"))
+                        .collect()
+                })
+            }
+        }
     }
 
     /// Runs a predictor (one cold instance per trace) over the whole
@@ -69,7 +164,12 @@ impl ExpContext {
         P: Predictor + Send + 'static,
         F: Fn() -> P + Send + Sync + 'static,
     {
-        self.runner.run_suite(&self.traces, &self.cfg, make, scenario)
+        match &self.source {
+            SuiteSource::Materialized(ts) => self.runner.run_suite(ts, &self.cfg, make, scenario),
+            SuiteSource::Streamed(specs) => {
+                self.runner.run_suite_streamed(specs, &self.cfg, make, scenario)
+            }
+        }
     }
 
     /// Like [`ExpContext::run`], memoized by `(label, scenario, pipeline
@@ -81,7 +181,14 @@ impl ExpContext {
         P: Predictor + Send + 'static,
         F: Fn() -> P + Send + Sync + 'static,
     {
-        self.runner.run_suite_cached(label, &self.traces, &self.cfg, make, scenario)
+        match &self.source {
+            SuiteSource::Materialized(ts) => {
+                self.runner.run_suite_cached(label, ts, &self.cfg, make, scenario)
+            }
+            SuiteSource::Streamed(specs) => {
+                self.runner.run_suite_streamed_cached(label, specs, &self.cfg, make, scenario)
+            }
+        }
     }
 
     /// Scheduler counters (jobs run vs requested, memo hits).
@@ -105,7 +212,8 @@ mod tests {
         let ctx = ExpContext::new(Scale::Tiny);
         let par = ctx.run(|| baselines::Gshare::new(12), UpdateScenario::RereadAtRetire);
         let serial = SuiteReport::new(
-            ctx.traces
+            ctx.materialized()
+                .unwrap()
                 .iter()
                 .map(|t| {
                     simulate(
@@ -130,7 +238,7 @@ mod tests {
     fn cached_run_dedupes_and_matches() {
         let ctx = ExpContext::with_options(
             Scale::Tiny,
-            ExpOptions { threads: Some(2), trace_cache: None },
+            ExpOptions { threads: Some(2), ..Default::default() },
         );
         let a = ctx.run_cached("gshare-12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
         let b = ctx.run_cached("gshare-12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
@@ -146,13 +254,49 @@ mod tests {
         let dir = std::env::temp_dir()
             .join(format!("tage-ctx-cache-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let opts =
-            ExpOptions { threads: Some(2), trace_cache: Some(dir.clone()) };
+        let opts = ExpOptions {
+            threads: Some(2),
+            trace_cache: Some(dir.clone()),
+            ..Default::default()
+        };
         let cold = ExpContext::with_options(Scale::Tiny, opts.clone());
         let warm = ExpContext::with_options(Scale::Tiny, opts);
-        assert_eq!(*cold.traces, *warm.traces);
+        assert_eq!(*cold.materialized().unwrap(), *warm.materialized().unwrap());
         let plain = ExpContext::new(Scale::Tiny);
-        assert_eq!(*warm.traces, *plain.traces, "cache must not change trace content");
+        assert_eq!(
+            *warm.materialized().unwrap(),
+            *plain.materialized().unwrap(),
+            "cache must not change trace content"
+        );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_mode_matches_materialized_bit_for_bit() {
+        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream };
+        let materialized = ExpContext::with_options(Scale::Tiny, opts(false));
+        let streamed = ExpContext::with_options(Scale::Tiny, opts(true));
+        assert!(streamed.streaming());
+        assert!(streamed.materialized().is_none());
+        assert_eq!(streamed.trace_count(), 40);
+        let a = materialized.run(|| baselines::Gshare::new(12), UpdateScenario::RereadAtRetire);
+        let b = streamed.run(|| baselines::Gshare::new(12), UpdateScenario::RereadAtRetire);
+        assert_eq!(a.reports, b.reports, "stream mode must be bit-identical");
+        let ac = materialized
+            .run_cached("g12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
+        let bc =
+            streamed.run_cached("g12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
+        assert_eq!(ac.reports, bc.reports);
+    }
+
+    #[test]
+    fn stream_mode_stats_and_sources_match() {
+        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream };
+        let materialized = ExpContext::with_options(Scale::Tiny, opts(false));
+        let streamed = ExpContext::with_options(Scale::Tiny, opts(true));
+        assert_eq!(materialized.trace_stats(), streamed.trace_stats());
+        let a = materialized.source_at(3).collect_trace();
+        let b = streamed.source_at(3).collect_trace();
+        assert_eq!(a, b);
     }
 }

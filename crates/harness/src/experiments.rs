@@ -9,7 +9,7 @@ use pipeline::SuiteReport;
 use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
 use tage::{Lsc, Tage, TageConfig, TageSystem};
 use workloads::suite::HARD_TRACES;
-use workloads::TraceStats;
+use workloads::EventSource;
 
 /// All experiment ids, in paper order (the last is the §8-cited
 /// storage-free-confidence extension).
@@ -96,8 +96,7 @@ pub fn e00_bench_chars(ctx: &ExpContext) {
         "E00 (§2.2) Benchmark characterization — reference TAGE, scenario [A]",
         &["trace", "hard", "uops", "branches", "static", "mispred", "MPKI", "MPPKI"],
     );
-    for (r, tr) in suite.reports.iter().zip(ctx.traces.iter()) {
-        let st = TraceStats::of(tr);
+    for (r, st) in suite.reports.iter().zip(ctx.trace_stats()) {
         t.row(vec![
             r.trace.clone(),
             if HARD_TRACES.contains(&r.trace.as_str()) { "*".into() } else { "".into() },
@@ -633,9 +632,11 @@ pub fn e12_fig10(ctx: &ExpContext) {
 pub fn e14_confidence(ctx: &ExpContext) {
     use tage::confidence::{classify, Confidence, ConfidenceStats};
     let mut stats = ConfidenceStats::default();
-    for trace in ctx.traces.iter() {
+    for i in 0..ctx.trace_count() {
+        // Event sources work in both materialized and streamed modes.
+        let mut src = ctx.source_at(i);
         let mut p = Tage::reference_64kb();
-        for ev in &trace.events {
+        while let Some(ev) = src.next_event() {
             let b = ev.branch_info();
             if !b.kind.is_conditional() {
                 p.note_uncond(&b);

@@ -11,6 +11,7 @@ pub mod ctx;
 pub mod experiments;
 pub mod runner;
 pub mod table;
+pub mod trace_mode;
 
 pub use ctx::{ExpContext, ExpOptions};
 pub use runner::{SchedulerStats, SuiteRunner, WorkerPool};

@@ -15,12 +15,12 @@
 //!   so duplicate requests are served from cache and counted — the
 //!   [`SchedulerStats`] counters make the dedup observable (and testable).
 
-use pipeline::{simulate, PipelineConfig, SuiteReport};
+use pipeline::{simulate, simulate_source, PipelineConfig, SuiteReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use workloads::Trace;
+use workloads::{Trace, TraceSpec};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -277,14 +277,72 @@ impl SuiteRunner {
         SuiteReport::new(batch.wait())
     }
 
-    /// Like [`SuiteRunner::run_suite`], but memoized by
-    /// `(label, scenario, config)`: the first request computes, duplicates
-    /// are served from cache.
+    /// Streaming twin of [`SuiteRunner::run_suite`]: each pool job
+    /// regenerates its trace through [`TraceSpec::stream`] instead of
+    /// reading a materialized `Vec<Trace>`, so suite memory stays bounded
+    /// by the in-flight windows (per-job regeneration is the price).
+    /// Bit-identical to the materialized path — `ProgramStream` and
+    /// `Program::generate` emit the same events by construction.
+    pub fn run_suite_streamed<P, F>(
+        &self,
+        specs: &Arc<Vec<TraceSpec>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        let n = specs.len();
+        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed);
+        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed);
+        let make = Arc::new(make);
+        let batch = Batch::new(n);
+        for i in 0..n {
+            let make = Arc::clone(&make);
+            let specs = Arc::clone(specs);
+            let batch = Arc::clone(&batch);
+            let cfg = cfg.clone();
+            self.pool.submit(Box::new(move || {
+                batch.run(i, || {
+                    simulate_source(&mut make(), &mut specs[i].stream(), scenario, &cfg)
+                });
+            }));
+        }
+        SuiteReport::new(batch.wait())
+    }
+
+    /// Memoizes `compute` by `(label, scenario, config)`: the first
+    /// request computes, duplicates are served from cache. `n_jobs` is the
+    /// per-trace job count the request *would* have run (counted as
+    /// requested on a hit).
     ///
-    /// `label` must uniquely identify the predictor configuration `make`
-    /// builds — two different configurations sharing a label would wrongly
-    /// share results ([`Predictor::name`] is *not* used precisely because
-    /// distinct configurations can render the same name).
+    /// `label` must uniquely identify the predictor configuration the
+    /// computation simulates — two different configurations sharing a
+    /// label would wrongly share results (`Predictor::name` is *not* used
+    /// precisely because distinct configurations can render the same
+    /// name).
+    pub fn cached_suite(
+        &self,
+        label: &str,
+        scenario: UpdateScenario,
+        cfg: &PipelineConfig,
+        n_jobs: usize,
+        compute: impl FnOnce() -> SuiteReport,
+    ) -> SuiteReport {
+        let key = (label.to_string(), scenario, cfg.fingerprint());
+        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
+            self.suite_memo_hits.fetch_add(1, Ordering::Relaxed);
+            self.sim_jobs_requested.fetch_add(n_jobs as u64, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let report = compute();
+        self.cache.lock().unwrap().insert(key, report.clone());
+        report
+    }
+
+    /// [`SuiteRunner::run_suite`] through the memo cache.
     pub fn run_suite_cached<P, F>(
         &self,
         label: &str,
@@ -297,34 +355,28 @@ impl SuiteRunner {
         P: Predictor + Send + 'static,
         F: Fn() -> P + Send + Sync + 'static,
     {
-        let key = (label.to_string(), scenario, cfg_fingerprint(cfg));
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            self.suite_memo_hits.fetch_add(1, Ordering::Relaxed);
-            self.sim_jobs_requested.fetch_add(traces.len() as u64, Ordering::Relaxed);
-            return hit.clone();
-        }
-        let report = self.run_suite(traces, cfg, make, scenario);
-        self.cache.lock().unwrap().insert(key, report.clone());
-        report
+        self.cached_suite(label, scenario, cfg, traces.len(), || {
+            self.run_suite(traces, cfg, make, scenario)
+        })
     }
 
-}
-
-/// Collapses the pipeline configuration to a cache-key fingerprint. The
-/// timing parameters fully determine simulation behaviour for a given
-/// predictor + scenario (the cache state itself starts cold every run).
-fn cfg_fingerprint(cfg: &PipelineConfig) -> u64 {
-    let mut h = 0xCBF29CE484222325u64;
-    for v in [
-        cfg.retire_lag as u64,
-        cfg.core.refill_penalty,
-        cfg.core.min_exec_lag as u64,
-        cfg.core.memory.memory_latency,
-    ] {
-        h ^= v;
-        h = h.wrapping_mul(0x100000001B3);
+    /// [`SuiteRunner::run_suite_streamed`] through the memo cache.
+    pub fn run_suite_streamed_cached<P, F>(
+        &self,
+        label: &str,
+        specs: &Arc<Vec<TraceSpec>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.cached_suite(label, scenario, cfg, specs.len(), || {
+            self.run_suite_streamed(specs, cfg, make, scenario)
+        })
     }
-    h
 }
 
 #[cfg(test)]
@@ -418,6 +470,56 @@ mod tests {
             UpdateScenario::FetchOnly,
         );
         assert_eq!(runner.stats().sim_jobs_run, 80);
+    }
+
+    #[test]
+    fn streamed_suite_matches_materialized_bit_for_bit() {
+        // The ROADMAP "stream-first harness mode" contract: per-job
+        // ProgramStream regeneration must reproduce the materialized
+        // suite's reports exactly, table for table.
+        let runner = SuiteRunner::new(Some(3));
+        let specs = Arc::new(workloads::suite::suite(Scale::Tiny));
+        let traces = tiny_traces();
+        let cfg = PipelineConfig::default();
+        let streamed = runner.run_suite_streamed(
+            &specs,
+            &cfg,
+            || baselines::Gshare::new(11),
+            UpdateScenario::RereadAtRetire,
+        );
+        let materialized = runner.run_suite(
+            &traces,
+            &cfg,
+            || baselines::Gshare::new(11),
+            UpdateScenario::RereadAtRetire,
+        );
+        assert_eq!(streamed.reports, materialized.reports);
+    }
+
+    #[test]
+    fn streamed_cached_suite_dedupes() {
+        let runner = SuiteRunner::new(Some(2));
+        let specs = Arc::new(workloads::suite::suite(Scale::Tiny));
+        let cfg = PipelineConfig::default();
+        let a = runner.run_suite_streamed_cached(
+            "gshare-10s",
+            &specs,
+            &cfg,
+            || baselines::Gshare::new(10),
+            UpdateScenario::FetchOnly,
+        );
+        let b = runner.run_suite_streamed_cached(
+            "gshare-10s",
+            &specs,
+            &cfg,
+            || baselines::Gshare::new(10),
+            UpdateScenario::FetchOnly,
+        );
+        assert_eq!(a.reports, b.reports);
+        let s = runner.stats();
+        assert_eq!(s.sim_jobs_run, 40);
+        assert_eq!(s.sim_jobs_requested, 80);
+        assert_eq!(s.suite_memo_hits, 1);
     }
 
     #[test]

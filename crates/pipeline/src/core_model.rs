@@ -43,6 +43,15 @@ impl CacheLevel {
         }
     }
 
+    /// The configuration words of this level (geometry + latency, not the
+    /// runtime tag/LRU state, which starts cold every simulation).
+    /// Exhaustively destructured so a new field fails this compile until
+    /// classified as configuration or state.
+    pub(crate) fn config_words(&self) -> [u64; 3] {
+        let Self { tags: _, stamps: _, clock: _, sets, ways, latency } = self;
+        [*sets as u64, *ways as u64, *latency]
+    }
+
     /// Looks up `addr`; on a miss, fills the line. Returns hit/miss.
     pub fn access(&mut self, addr: u64) -> bool {
         self.clock += 1;
@@ -104,6 +113,17 @@ impl MemoryHierarchy {
             return self.l3.latency;
         }
         self.memory_latency
+    }
+
+    /// Configuration words of the whole hierarchy, for memo-cache keys.
+    pub(crate) fn config_words(&self) -> Vec<u64> {
+        let Self { l1, l2, l3, memory_latency } = self;
+        let mut words = Vec::with_capacity(10);
+        for level in [l1, l2, l3] {
+            words.extend(level.config_words());
+        }
+        words.push(*memory_latency);
+        words
     }
 }
 

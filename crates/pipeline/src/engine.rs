@@ -29,6 +29,31 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Collapses the configuration to a fingerprint for suite-memoization
+    /// keys. Every struct on the path is destructured exhaustively, so
+    /// adding a configuration field fails this compile until the field is
+    /// mixed into the key (or explicitly classified as runtime state) —
+    /// two configs differing in any knob can never silently share a memo
+    /// entry.
+    pub fn fingerprint(&self) -> u64 {
+        let Self { retire_lag, core } = self;
+        let CoreModel { memory, refill_penalty, min_exec_lag } = core;
+        let mut h = 0xCBF29CE484222325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001B3);
+        };
+        mix(*retire_lag as u64);
+        mix(*refill_penalty);
+        mix(*min_exec_lag as u64);
+        for w in memory.config_words() {
+            mix(w);
+        }
+        h
+    }
+}
+
 struct Inflight<F> {
     branch: simkit::BranchInfo,
     outcome: bool,
@@ -291,6 +316,20 @@ mod tests {
             &cfg,
         );
         assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn boxed_dyn_source_matches_concrete_source() {
+        // Foreign-format decoders arrive as `Box<dyn EventSource>`; the
+        // engine must produce identical reports through the boxed path.
+        let spec = by_name("CLIENT03", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        let concrete =
+            simulate_source(&mut Gshare::new(12), &mut spec.stream(), UpdateScenario::FetchOnly, &cfg);
+        let mut boxed: Box<dyn EventSource + Send> = Box::new(spec.stream());
+        let via_box =
+            simulate_source(&mut Gshare::new(12), &mut boxed, UpdateScenario::FetchOnly, &cfg);
+        assert_eq!(via_box, concrete);
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! CBP-style trace codec: the branch-table + 16-bit entry-stream layout of
+//! `cbp-experiments` (`dynamorio/common.h`), minus the zstd layer.
+//!
+//! ```text
+//! file:
+//!   entry    u16 × num_entries   bit 15 = taken, bits 0–14 = branch index
+//!   branch   24 bytes × num_brs  inst_addr u64, targ_addr u64,
+//!                                inst_length u32, branch_type u32
+//!   footer   num_brs u64, num_entries u64
+//! ```
+//!
+//! The upstream format zstd-compresses the entry stream; this offline
+//! variant stores it raw (the container has no crates.io access — swap the
+//! entry-region reader for a zstd decoder when the real crate lands).
+//!
+//! The format is **lossy** for this simulator: entries carry neither µop
+//! padding nor load dependences, so decoding synthesizes
+//! [`DEFAULT_UOPS_BEFORE`] and no loads. Branch PCs, kinds, and directions
+//! round-trip exactly. Targets carry one value per (site, direction): the
+//! first observed taken target becomes `targ_addr` and the first observed
+//! not-taken fall-through distance becomes `inst_length` (the encoder
+//! rejects a distance that overflows the u32 field rather than corrupt
+//! it), so per-event targets round-trip exactly whenever each site's
+//! target is a function of its direction — true for every generator
+//! trace; a site with *divergent* targets per direction (e.g. a recorded
+//! indirect branch) keeps only the first.
+
+use crate::decoder::TraceDecoder;
+use crate::file_meta;
+use simkit::predictor::BranchKind;
+use std::collections::HashMap;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use workloads::event::{EventSource, Trace, TraceEvent};
+
+/// µop padding synthesized for decoded events (the format carries none);
+/// matches the synthetic generator's default site padding.
+pub const DEFAULT_UOPS_BEFORE: u16 = 5;
+
+/// 15-bit entry index ⇒ at most this many static branches per file.
+pub const MAX_BRANCHES: usize = 1 << 15;
+
+const FOOTER_LEN: u64 = 16;
+const BRANCH_LEN: u64 = 24;
+
+// `enum branch_type` of cbp-experiments' dynamorio/common.h.
+const BT_DIRECT_JUMP: u32 = 0;
+const BT_INDIRECT_JUMP: u32 = 1;
+const BT_DIRECT_CALL: u32 = 2;
+const BT_INDIRECT_CALL: u32 = 3;
+const BT_RETURN: u32 = 4;
+const BT_COND_DIRECT_JUMP: u32 = 5;
+
+fn kind_to_bt(k: BranchKind) -> u32 {
+    match k {
+        BranchKind::Conditional => BT_COND_DIRECT_JUMP,
+        BranchKind::DirectJump => BT_DIRECT_JUMP,
+        BranchKind::IndirectJump => BT_INDIRECT_JUMP,
+        BranchKind::Call => BT_DIRECT_CALL,
+        BranchKind::Return => BT_RETURN,
+    }
+}
+
+fn bt_to_kind(bt: u32) -> io::Result<BranchKind> {
+    Ok(match bt {
+        BT_COND_DIRECT_JUMP => BranchKind::Conditional,
+        BT_DIRECT_JUMP => BranchKind::DirectJump,
+        BT_INDIRECT_JUMP => BranchKind::IndirectJump,
+        BT_DIRECT_CALL | BT_INDIRECT_CALL => BranchKind::Call,
+        BT_RETURN => BranchKind::Return,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid CBP branch type {other}"),
+            ))
+        }
+    })
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BranchRec {
+    inst_addr: u64,
+    targ_addr: u64,
+    inst_length: u32,
+    kind: BranchKind,
+}
+
+impl BranchRec {
+    fn target(&self, taken: bool) -> u64 {
+        if taken {
+            self.targ_addr
+        } else {
+            self.inst_addr.wrapping_add(u64::from(self.inst_length))
+        }
+    }
+}
+
+/// Serializes `trace` in the CBP layout (lossy — see the module docs).
+///
+/// # Errors
+///
+/// Returns `InvalidInput` when the static footprint exceeds
+/// [`MAX_BRANCHES`] and any I/O error from the writer.
+pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
+    // Branch table in first-appearance order, as a tracer would emit it.
+    // First-observed targets per direction; `None` marks a direction this
+    // site never takes (filled with a canonical placeholder the decoder
+    // can then never observe through a faithful entry stream).
+    struct Building {
+        inst_addr: u64,
+        kind: BranchKind,
+        taken_target: Option<u64>,
+        fallthrough: Option<u32>,
+    }
+    let fallthrough_of = |e: &TraceEvent| -> io::Result<u32> {
+        u32::try_from(e.target.wrapping_sub(e.pc)).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "not-taken fall-through distance {:#x} at pc {:#x} exceeds the u32 \
+                     inst_length field",
+                    e.target.wrapping_sub(e.pc),
+                    e.pc
+                ),
+            )
+        })
+    };
+    let mut index: HashMap<(u64, u32), usize> = HashMap::new();
+    let mut table: Vec<Building> = Vec::new();
+    for e in &trace.events {
+        let key = (e.pc, kind_to_bt(e.kind));
+        let i = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                if table.len() >= MAX_BRANCHES {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "more than {MAX_BRANCHES} static branches overflow the 15-bit \
+                             entry index"
+                        ),
+                    ));
+                }
+                index.insert(key, table.len());
+                table.push(Building {
+                    inst_addr: e.pc,
+                    kind: e.kind,
+                    taken_target: None,
+                    fallthrough: None,
+                });
+                table.len() - 1
+            }
+        };
+        let rec = &mut table[i];
+        if e.taken {
+            rec.taken_target.get_or_insert(e.target);
+        } else {
+            let len = fallthrough_of(e)?;
+            rec.fallthrough.get_or_insert(len);
+        }
+    }
+    let table: Vec<BranchRec> = table
+        .into_iter()
+        .map(|b| BranchRec {
+            inst_addr: b.inst_addr,
+            targ_addr: b.taken_target.unwrap_or(b.inst_addr),
+            inst_length: b.fallthrough.unwrap_or(4),
+            kind: b.kind,
+        })
+        .collect();
+    for e in &trace.events {
+        let i = index[&(e.pc, kind_to_bt(e.kind))] as u16;
+        let entry = i | if e.taken { 0x8000 } else { 0 };
+        w.write_all(&entry.to_le_bytes())?;
+    }
+    for rec in &table {
+        w.write_all(&rec.inst_addr.to_le_bytes())?;
+        w.write_all(&rec.targ_addr.to_le_bytes())?;
+        w.write_all(&rec.inst_length.to_le_bytes())?;
+        w.write_all(&kind_to_bt(rec.kind).to_le_bytes())?;
+    }
+    w.write_all(&(table.len() as u64).to_le_bytes())?;
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    Ok(())
+}
+
+/// A streaming CBP decoder: reads the trailing footer and branch table
+/// once, then streams the 2-byte entries from the front of the file.
+pub struct CbpReader<R> {
+    name: String,
+    category: String,
+    table: Vec<BranchRec>,
+    remaining: u64,
+    total: u64,
+    reader: io::BufReader<R>,
+    error: Option<io::Error>,
+}
+
+impl<R: Read + Seek> CbpReader<R> {
+    /// Parses the footer and branch table of `reader`, leaving it
+    /// positioned at the entry stream. `name`/`category` label the reports
+    /// (the format embeds no metadata; [`CbpCodec::open`] derives them from
+    /// the file name).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` when the footer, branch table, and file size
+    /// are inconsistent, and any I/O error.
+    pub fn new(mut reader: R, name: String, category: String) -> io::Result<Self> {
+        let len = reader.seek(SeekFrom::End(0))?;
+        if len < FOOTER_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "file shorter than the footer"));
+        }
+        reader.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        let mut n64 = [0u8; 8];
+        reader.read_exact(&mut n64)?;
+        let num_brs = u64::from_le_bytes(n64);
+        reader.read_exact(&mut n64)?;
+        let num_entries = u64::from_le_bytes(n64);
+        if num_brs > MAX_BRANCHES as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("branch table of {num_brs} entries exceeds the 15-bit index space"),
+            ));
+        }
+        let table_bytes = num_brs * BRANCH_LEN;
+        let entry_bytes = len
+            .checked_sub(FOOTER_LEN + table_bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "branch table overruns file"))?;
+        // checked_mul: the footer is untrusted; an adversarial count must
+        // not overflow (a debug-build panic) before the consistency check.
+        if Some(entry_bytes) != num_entries.checked_mul(2) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("entry region is {entry_bytes} bytes but the footer declares {num_entries} entries"),
+            ));
+        }
+        reader.seek(SeekFrom::Start(entry_bytes))?;
+        // One read for the whole table region (bounded: ≤ MAX_BRANCHES ×
+        // 24 bytes) — per-record read_exact on the unbuffered file would
+        // cost one syscall per static branch, per open, per predictor.
+        let mut raw = vec![0u8; table_bytes as usize];
+        reader.read_exact(&mut raw)?;
+        let mut table = Vec::with_capacity(num_brs as usize);
+        for rec in raw.chunks_exact(BRANCH_LEN as usize) {
+            table.push(BranchRec {
+                inst_addr: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+                targ_addr: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+                inst_length: u32::from_le_bytes(rec[16..20].try_into().unwrap()),
+                kind: bt_to_kind(u32::from_le_bytes(rec[20..24].try_into().unwrap()))?,
+            });
+        }
+        reader.seek(SeekFrom::Start(0))?;
+        Ok(Self {
+            name,
+            category,
+            table,
+            remaining: num_entries,
+            total: num_entries,
+            reader: io::BufReader::new(reader),
+            error: None,
+        })
+    }
+
+    /// Static-branch-table size.
+    pub fn static_branches(&self) -> usize {
+        self.table.len()
+    }
+
+    fn decode_event(&mut self) -> io::Result<TraceEvent> {
+        let mut e16 = [0u8; 2];
+        self.reader.read_exact(&mut e16)?;
+        let entry = u16::from_le_bytes(e16);
+        let taken = entry & 0x8000 != 0;
+        let i = usize::from(entry & 0x7FFF);
+        let rec = self.table.get(i).copied().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("entry index {i} outside the {}-entry branch table", self.table.len()),
+            )
+        })?;
+        Ok(TraceEvent {
+            pc: rec.inst_addr,
+            kind: rec.kind,
+            taken,
+            target: rec.target(taken),
+            uops_before: DEFAULT_UOPS_BEFORE,
+            load_addr: None,
+        })
+    }
+}
+
+impl<R: Read + Seek> EventSource for CbpReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn category(&self) -> &str {
+        &self.category
+    }
+
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        if self.remaining == 0 || self.error.is_some() {
+            return None;
+        }
+        match self.decode_event() {
+            Ok(e) => {
+                self.remaining -= 1;
+                Some(e)
+            }
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl<R: Read + Seek> TraceDecoder for CbpReader<R> {
+    fn format(&self) -> &'static str {
+        "cbp"
+    }
+
+    fn decode_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn expected_events(&self) -> Option<u64> {
+        Some(self.total)
+    }
+
+    fn remaining_events(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// The CBP-style [`crate::TraceCodec`].
+pub struct CbpCodec;
+
+impl crate::TraceCodec for CbpCodec {
+    fn name(&self) -> &'static str {
+        "cbp"
+    }
+
+    fn description(&self) -> &'static str {
+        "cbp-experiments layout: u16 entry stream + branch table + footer (lossy: no uops/loads)"
+    }
+
+    fn extensions(&self) -> &'static [&'static str] {
+        &["cbp"]
+    }
+
+    fn matches_magic(&self, _prefix: &[u8]) -> bool {
+        // The CBP header is a trailing footer; only the extension
+        // identifies the format.
+        false
+    }
+
+    fn lossy(&self) -> bool {
+        true
+    }
+
+    fn encode(&self, w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
+        encode(w, trace)
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn TraceDecoder + Send>> {
+        let (name, category) = file_meta(path);
+        Ok(Box::new(CbpReader::new(std::fs::File::open(path)?, name, category)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use workloads::suite::{by_name, Scale};
+
+    fn decode_all(buf: Vec<u8>) -> io::Result<Vec<TraceEvent>> {
+        let mut r = CbpReader::new(Cursor::new(buf), "t".into(), "TEST".into())?;
+        let mut events = Vec::new();
+        while let Some(e) = r.next_event() {
+            events.push(e);
+        }
+        match r.error {
+            Some(e) => Err(e),
+            None => Ok(events),
+        }
+    }
+
+    #[test]
+    fn directions_and_pcs_round_trip() {
+        let t = by_name("MM03", Scale::Tiny).unwrap().generate();
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        let back = decode_all(buf).unwrap();
+        assert_eq!(back.len(), t.events.len());
+        for (a, b) in back.iter().zip(&t.events) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.taken, b.taken);
+            assert_eq!(a.target, b.target, "target of pc {:#x}", b.pc);
+        }
+    }
+
+    #[test]
+    fn uops_and_loads_are_synthesized() {
+        let t = by_name("INT01", Scale::Tiny).unwrap().generate();
+        assert!(t.events.iter().any(|e| e.load_addr.is_some()));
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        let back = decode_all(buf).unwrap();
+        assert!(back.iter().all(|e| e.load_addr.is_none()));
+        assert!(back.iter().all(|e| e.uops_before == DEFAULT_UOPS_BEFORE));
+    }
+
+    #[test]
+    fn rejects_inconsistent_footer() {
+        let t = by_name("WS01", Scale::Tiny).unwrap().generate();
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        // Chop two entry bytes: the entry region no longer matches the
+        // declared count.
+        let mut chopped = buf.clone();
+        chopped.drain(0..2);
+        assert!(decode_all(chopped).is_err());
+        // A footer pointing past the file.
+        let n = buf.len();
+        buf[n - 16..n - 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_all(buf).is_err());
+        // Shorter than any footer.
+        assert!(decode_all(vec![1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_branch_type() {
+        let t = Trace {
+            name: "x".into(),
+            category: "X".into(),
+            events: vec![TraceEvent {
+                pc: 0x40,
+                kind: BranchKind::Conditional,
+                taken: true,
+                target: 0x80,
+                uops_before: 0,
+                load_addr: None,
+            }],
+        };
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        // branch_type lives at the end of the single 24-byte record,
+        // right before the 16-byte footer.
+        let pos = buf.len() - 16 - 4;
+        buf[pos..pos + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(decode_all(buf).is_err());
+    }
+
+    #[test]
+    fn zero_valued_targets_round_trip() {
+        // Regression: the encoder once used 0 as an "unobserved" sentinel
+        // for targ_addr/inst_length, corrupting a legitimate taken target
+        // of 0 and a zero fall-through distance into placeholders.
+        let mk = |pc, taken, target| TraceEvent {
+            pc,
+            kind: BranchKind::Conditional,
+            taken,
+            target,
+            uops_before: 1,
+            load_addr: None,
+        };
+        let t = Trace {
+            name: "zero".into(),
+            category: "Z".into(),
+            events: vec![mk(0x80, true, 0), mk(0x90, false, 0x90), mk(0x80, true, 0)],
+        };
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        let back = decode_all(buf).unwrap();
+        assert_eq!(back[0].target, 0, "taken target 0 must survive");
+        assert_eq!(back[1].target, 0x90, "zero fall-through distance must survive");
+        assert_eq!(back[2].target, 0);
+    }
+
+    #[test]
+    fn oversized_fallthrough_is_rejected_not_corrupted() {
+        let t = Trace {
+            name: "far".into(),
+            category: "F".into(),
+            events: vec![TraceEvent {
+                pc: 0x10,
+                kind: BranchKind::Conditional,
+                taken: false,
+                target: 0x10 + (1 << 40),
+                uops_before: 0,
+                load_addr: None,
+            }],
+        };
+        let mut buf = Vec::new();
+        let err = encode(&mut buf, &t).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn overflowing_footer_entry_count_is_rejected() {
+        // An adversarial num_entries near u64::MAX must hit the checked
+        // consistency test, not a multiply overflow.
+        let mut buf = vec![0u8; 2];
+        buf.extend(0u64.to_le_bytes()); // num_brs
+        buf.extend((u64::MAX / 2 + 1).to_le_bytes()); // num_entries * 2 overflows
+        assert!(decode_all(buf).is_err());
+    }
+
+    #[test]
+    fn entry_limit_is_enforced() {
+        // 2 events sharing one site: table has 1 entry, entries 2.
+        let mk = |taken| TraceEvent {
+            pc: 0x10,
+            kind: BranchKind::Conditional,
+            taken,
+            target: if taken { 0x50 } else { 0x18 },
+            uops_before: 1,
+            load_addr: None,
+        };
+        let t = Trace { name: "x".into(), category: "X".into(), events: vec![mk(true), mk(false)] };
+        let mut buf = Vec::new();
+        encode(&mut buf, &t).unwrap();
+        assert_eq!(buf.len(), 2 * 2 + 24 + 16);
+        let back = decode_all(buf).unwrap();
+        assert_eq!(back[0].target, 0x50);
+        assert_eq!(back[1].target, 0x18, "fall-through from inst_length");
+    }
+}

@@ -1,0 +1,73 @@
+//! The streaming-decoder trait layered on [`EventSource`].
+//!
+//! [`EventSource::next_event`] has no error channel — the simulation engine
+//! treats `None` as end-of-stream. A decoder hitting corrupt bytes
+//! mid-stream must therefore end the stream *and* record what went wrong;
+//! [`TraceDecoder::decode_error`] lets callers distinguish a clean EOF from
+//! a truncated simulation after the pass completes.
+
+use std::io;
+use workloads::event::EventSource;
+
+/// A streaming trace decoder: an [`EventSource`] with error reporting and
+/// optional size metadata.
+pub trait TraceDecoder: EventSource {
+    /// Codec name that produced this decoder (e.g. `"ttr"`).
+    fn format(&self) -> &'static str;
+
+    /// The decode error that ended the stream early, if any. Checked after
+    /// draining the source; `None` means the stream ended cleanly.
+    fn decode_error(&self) -> Option<&io::Error> {
+        None
+    }
+
+    /// Total events the container claims, when the format records it.
+    fn expected_events(&self) -> Option<u64> {
+        None
+    }
+
+    /// Events not yet decoded, when the format records a total.
+    fn remaining_events(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Drains `decoder`, returning the event count or the recorded decode
+/// error. Used by `tage_trace inspect` and the post-simulation integrity
+/// check.
+///
+/// # Errors
+///
+/// Returns the decoder's recorded error when the stream ended on corrupt
+/// input, and `InvalidData` when the container promised more events than it
+/// delivered.
+pub fn drain_checked<D: TraceDecoder + ?Sized>(decoder: &mut D) -> io::Result<u64> {
+    let mut n = 0u64;
+    while decoder.next_event().is_some() {
+        n += 1;
+    }
+    finish(decoder)?;
+    Ok(n)
+}
+
+/// Post-stream integrity check: surfaces a recorded decode error or an
+/// event-count shortfall after the caller drained `decoder` itself (e.g.
+/// through `pipeline::simulate_source`).
+///
+/// # Errors
+///
+/// See [`drain_checked`].
+pub fn finish<D: TraceDecoder + ?Sized>(decoder: &D) -> io::Result<()> {
+    if let Some(e) = decoder.decode_error() {
+        return Err(io::Error::new(e.kind(), format!("{}: {e}", decoder.format())));
+    }
+    if let Some(left) = decoder.remaining_events() {
+        if left > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stream ended {left} events short of the declared count"),
+            ));
+        }
+    }
+    Ok(())
+}

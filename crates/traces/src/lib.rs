@@ -1,0 +1,60 @@
+//! External-trace ingestion: pluggable codecs behind format autodetection.
+//!
+//! Every number the repro produces comes from the synthetic 40-trace
+//! suite; this crate is the gateway for *recorded* branch streams. It
+//! layers strictly above `workloads` and below the harness:
+//!
+//! * [`codec`] — the [`TraceCodec`] trait (encode a [`Trace`], open a
+//!   streaming decoder) and the [`CodecRegistry`] that autodetects a
+//!   file's format by magic bytes first, extension second;
+//! * [`decoder`] — [`TraceDecoder`], the streaming-decoder contract:
+//!   an [`EventSource`](workloads::EventSource) plus error reporting, so
+//!   corrupt input ends a simulation detectably instead of silently;
+//! * [`ttr`] — the native `.ttr` v2 format: deduplicated static-branch
+//!   table + LEB128-packed event stream, lossless, with a reserved
+//!   compression-scheme byte for a future real compressor;
+//! * [`cbp`] — the `cbp-experiments` branch-table + 16-bit entry layout
+//!   (sans zstd), for interop with externally recorded traces;
+//! * [`csv`] — plain text for hand-authored regression traces.
+//!
+//! Decoders hold the static-branch table in memory and nothing else, so
+//! ingestion memory is bounded by the static footprint, never the trace
+//! length — the same property that makes `pipeline::simulate_source`
+//! usable on arbitrarily long streams.
+//!
+//! # Example
+//!
+//! ```
+//! use traces::{CodecRegistry, TraceCodec};
+//! use workloads::EventSource;
+//! use workloads::suite::{by_name, Scale};
+//!
+//! let dir = std::env::temp_dir().join("traces-doctest");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("INT05.ttr");
+//!
+//! // Record a synthetic trace, then reopen it via autodetection.
+//! let trace = by_name("INT05", Scale::Tiny).unwrap().generate();
+//! let registry = CodecRegistry::standard();
+//! let mut file = std::fs::File::create(&path).unwrap();
+//! registry.by_name("ttr").unwrap().encode(&mut file, &trace).unwrap();
+//! drop(file);
+//!
+//! let mut source = registry.open(&path).unwrap();
+//! assert_eq!(source.name(), "INT05");
+//! assert_eq!(source.collect_trace(), trace);
+//! # std::fs::remove_file(&path).unwrap();
+//! ```
+
+pub mod cbp;
+pub mod codec;
+pub mod csv;
+pub mod decoder;
+pub mod ttr;
+pub mod varint;
+
+pub use cbp::{CbpCodec, CbpReader};
+pub use codec::{file_meta, CodecRegistry, TraceCodec, SNIFF_LEN};
+pub use csv::{CsvCodec, CsvReader};
+pub use decoder::{drain_checked, finish, TraceDecoder};
+pub use ttr::{TtrCodec, TtrReader};

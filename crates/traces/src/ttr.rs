@@ -1,0 +1,530 @@
+//! The native `.ttr` v2 binary trace format.
+//!
+//! Layout (all multi-byte integers little-endian, varints LEB128):
+//!
+//! ```text
+//! header:
+//!   magic            8 bytes  "TAGETTR2"
+//!   compression      u8       0 = raw (other values reserved for a real
+//!                             compression codec once crates.io access
+//!                             lands; readers reject them)
+//!   name             u16 len + UTF-8 bytes
+//!   category         u16 len + UTF-8 bytes
+//!   branch_count     u32      static-branch table entries
+//!   event_count      u64      dynamic events
+//! branch table (branch_count entries, ascending (pc, kind)):
+//!   pc_delta         LEB128   pc − previous entry's pc (first: pc)
+//!   kind             u8       0=cond 1=jump 2=ijump 3=call 4=ret
+//!   taken_target     ZigZag LEB128   target − pc when taken
+//!   nottaken_target  ZigZag LEB128   target − pc when not taken
+//! event stream (event_count records):
+//!   index_delta      ZigZag LEB128   site index − previous event's index
+//!   flags            u8       bit0 taken, bit1 has_load,
+//!                             bit2 target override, bits 3–7 zero
+//!   uops_before      LEB128   (≤ 65535)
+//!   [bit2] target    ZigZag LEB128   target − the site's default target
+//!   [bit1] load_addr LEB128
+//! ```
+//!
+//! The branch table deduplicates static sites; per-event targets that
+//! match the site's recorded target (the overwhelmingly common case) cost
+//! nothing, and the rare divergent target rides an explicit override, so
+//! the format is lossless for arbitrary event streams. Decoding holds the
+//! branch table in memory and nothing else — memory is bounded by the
+//! static footprint, not the trace length.
+
+use crate::decoder::TraceDecoder;
+use crate::varint;
+use simkit::predictor::BranchKind;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+use workloads::event::{EventSource, Trace, TraceEvent};
+
+/// Leading magic of a `.ttr` v2 file.
+pub const TTR_MAGIC: &[u8; 8] = b"TAGETTR2";
+
+/// Compression scheme byte: raw (the only scheme implemented offline).
+pub const COMPRESSION_RAW: u8 = 0;
+
+/// Decoder cap on static-branch-table entries: bounds `open` memory on
+/// corrupt or adversarial headers.
+pub const MAX_BRANCH_TABLE: u32 = 1 << 24;
+
+const FLAG_TAKEN: u8 = 1 << 0;
+const FLAG_LOAD: u8 = 1 << 1;
+const FLAG_TARGET: u8 = 1 << 2;
+
+pub(crate) fn kind_code(k: BranchKind) -> u8 {
+    match k {
+        BranchKind::Conditional => 0,
+        BranchKind::DirectJump => 1,
+        BranchKind::IndirectJump => 2,
+        BranchKind::Call => 3,
+        BranchKind::Return => 4,
+    }
+}
+
+pub(crate) fn code_kind(c: u8) -> io::Result<BranchKind> {
+    Ok(match c {
+        0 => BranchKind::Conditional,
+        1 => BranchKind::DirectJump,
+        2 => BranchKind::IndirectJump,
+        3 => BranchKind::Call,
+        4 => BranchKind::Return,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid branch kind code {other}"),
+            ))
+        }
+    })
+}
+
+fn write_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string exceeds 64KiB"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(bytes)
+}
+
+fn read_str(r: &mut dyn Read) -> io::Result<String> {
+    let mut len = [0u8; 2];
+    r.read_exact(&mut len)?;
+    let mut buf = vec![0u8; u16::from_le_bytes(len) as usize];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// One static-branch-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TableEntry {
+    pc: u64,
+    kind: BranchKind,
+    taken_target: u64,
+    nottaken_target: u64,
+}
+
+impl TableEntry {
+    fn default_target(&self, taken: bool) -> u64 {
+        if taken {
+            self.taken_target
+        } else {
+            self.nottaken_target
+        }
+    }
+}
+
+/// Serializes `trace` as `.ttr` v2.
+///
+/// # Errors
+///
+/// Returns `InvalidInput` when the static footprint exceeds
+/// [`MAX_BRANCH_TABLE`] or a string field exceeds 64 KiB, and any I/O
+/// error from the writer.
+pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
+    // Pass 1: the deduplicated static-branch table. First-observed targets
+    // become the per-site defaults; divergent events carry overrides.
+    let mut sites: BTreeMap<(u64, u8), (Option<u64>, Option<u64>)> = BTreeMap::new();
+    for e in &trace.events {
+        let slot = sites.entry((e.pc, kind_code(e.kind))).or_default();
+        let side = if e.taken { &mut slot.0 } else { &mut slot.1 };
+        side.get_or_insert(e.target);
+    }
+    if sites.len() as u64 > u64::from(MAX_BRANCH_TABLE) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} static branches exceed the table cap", sites.len()),
+        ));
+    }
+    let table: Vec<TableEntry> = sites
+        .iter()
+        .map(|(&(pc, kind), &(t, nt))| TableEntry {
+            pc,
+            kind: code_kind(kind).expect("kind_code output is always valid"),
+            taken_target: t.unwrap_or(pc),
+            nottaken_target: nt.unwrap_or(pc),
+        })
+        .collect();
+    let index_of: BTreeMap<(u64, u8), usize> =
+        sites.keys().enumerate().map(|(i, &k)| (k, i)).collect();
+
+    w.write_all(TTR_MAGIC)?;
+    w.write_all(&[COMPRESSION_RAW])?;
+    write_str(w, &trace.name)?;
+    write_str(w, &trace.category)?;
+    w.write_all(&(table.len() as u32).to_le_bytes())?;
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+
+    let mut prev_pc = 0u64;
+    for t in &table {
+        varint::write_u64(w, t.pc.wrapping_sub(prev_pc))?;
+        w.write_all(&[kind_code(t.kind)])?;
+        varint::write_i64(w, t.taken_target.wrapping_sub(t.pc) as i64)?;
+        varint::write_i64(w, t.nottaken_target.wrapping_sub(t.pc) as i64)?;
+        prev_pc = t.pc;
+    }
+
+    let mut prev_index = 0i64;
+    for e in &trace.events {
+        let index = index_of[&(e.pc, kind_code(e.kind))];
+        let site = &table[index];
+        let default = site.default_target(e.taken);
+        let mut flags = 0u8;
+        if e.taken {
+            flags |= FLAG_TAKEN;
+        }
+        if e.load_addr.is_some() {
+            flags |= FLAG_LOAD;
+        }
+        if e.target != default {
+            flags |= FLAG_TARGET;
+        }
+        varint::write_i64(w, index as i64 - prev_index)?;
+        w.write_all(&[flags])?;
+        varint::write_u64(w, u64::from(e.uops_before))?;
+        if flags & FLAG_TARGET != 0 {
+            varint::write_i64(w, e.target.wrapping_sub(default) as i64)?;
+        }
+        if let Some(addr) = e.load_addr {
+            varint::write_u64(w, addr)?;
+        }
+        prev_index = index as i64;
+    }
+    Ok(())
+}
+
+/// A streaming `.ttr` v2 decoder: holds the header and static-branch table,
+/// decodes events one at a time.
+pub struct TtrReader<R> {
+    name: String,
+    category: String,
+    table: Vec<TableEntry>,
+    remaining: u64,
+    total: u64,
+    prev_index: i64,
+    reader: R,
+    error: Option<io::Error>,
+}
+
+impl<R: Read> TtrReader<R> {
+    /// Reads the header and branch table, leaving `reader` positioned at
+    /// the event stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on bad magic, an unsupported compression
+    /// scheme, an oversized branch table, or corrupt table entries, plus
+    /// any I/O error.
+    pub fn new(mut reader: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != TTR_MAGIC {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad .ttr magic"));
+        }
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if byte[0] != COMPRESSION_RAW {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported .ttr compression scheme {}", byte[0]),
+            ));
+        }
+        let name = read_str(&mut reader)?;
+        let category = read_str(&mut reader)?;
+        let mut n32 = [0u8; 4];
+        reader.read_exact(&mut n32)?;
+        let branch_count = u32::from_le_bytes(n32);
+        if branch_count > MAX_BRANCH_TABLE {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("branch table of {branch_count} entries exceeds the cap"),
+            ));
+        }
+        let mut n64 = [0u8; 8];
+        reader.read_exact(&mut n64)?;
+        let total = u64::from_le_bytes(n64);
+        // The count is still untrusted until the table bytes actually
+        // decode: cap the up-front allocation so a ~30-byte crafted header
+        // cannot reserve hundreds of MiB before the read fails.
+        let mut table = Vec::with_capacity((branch_count as usize).min(1 << 16));
+        let mut prev_pc = 0u64;
+        for _ in 0..branch_count {
+            let pc = prev_pc.wrapping_add(varint::read_u64(&mut reader)?);
+            reader.read_exact(&mut byte)?;
+            let kind = code_kind(byte[0])?;
+            let taken_target = pc.wrapping_add(varint::read_i64(&mut reader)? as u64);
+            let nottaken_target = pc.wrapping_add(varint::read_i64(&mut reader)? as u64);
+            table.push(TableEntry { pc, kind, taken_target, nottaken_target });
+            prev_pc = pc;
+        }
+        Ok(Self {
+            name,
+            category,
+            table,
+            remaining: total,
+            total,
+            prev_index: 0,
+            reader,
+            error: None,
+        })
+    }
+
+    /// Static-branch-table size.
+    pub fn static_branches(&self) -> usize {
+        self.table.len()
+    }
+
+    fn decode_event(&mut self) -> io::Result<TraceEvent> {
+        let index = self.prev_index.wrapping_add(varint::read_i64(&mut self.reader)?);
+        let site = usize::try_from(index)
+            .ok()
+            .and_then(|i| self.table.get(i))
+            .copied()
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("event site index {index} outside the branch table"),
+                )
+            })?;
+        self.prev_index = index;
+        let mut byte = [0u8; 1];
+        self.reader.read_exact(&mut byte)?;
+        let flags = byte[0];
+        if flags & !(FLAG_TAKEN | FLAG_LOAD | FLAG_TARGET) != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid event flags {flags:#04x}"),
+            ));
+        }
+        let taken = flags & FLAG_TAKEN != 0;
+        let uops = varint::read_u64(&mut self.reader)?;
+        let uops_before = u16::try_from(uops)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "uops_before exceeds u16"))?;
+        let mut target = site.default_target(taken);
+        if flags & FLAG_TARGET != 0 {
+            target = target.wrapping_add(varint::read_i64(&mut self.reader)? as u64);
+        }
+        let load_addr = if flags & FLAG_LOAD != 0 {
+            Some(varint::read_u64(&mut self.reader)?)
+        } else {
+            None
+        };
+        Ok(TraceEvent { pc: site.pc, kind: site.kind, taken, target, uops_before, load_addr })
+    }
+}
+
+impl<R: Read> EventSource for TtrReader<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn category(&self) -> &str {
+        &self.category
+    }
+
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        if self.remaining == 0 || self.error.is_some() {
+            return None;
+        }
+        match self.decode_event() {
+            Ok(e) => {
+                self.remaining -= 1;
+                Some(e)
+            }
+            Err(e) => {
+                // EventSource has no error channel; record the failure and
+                // end the stream so TraceDecoder::decode_error surfaces it.
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+impl<R: Read> TraceDecoder for TtrReader<R> {
+    fn format(&self) -> &'static str {
+        "ttr"
+    }
+
+    fn decode_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    fn expected_events(&self) -> Option<u64> {
+        Some(self.total)
+    }
+
+    fn remaining_events(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// The `.ttr` [`crate::TraceCodec`].
+pub struct TtrCodec;
+
+impl crate::TraceCodec for TtrCodec {
+    fn name(&self) -> &'static str {
+        "ttr"
+    }
+
+    fn description(&self) -> &'static str {
+        "native .ttr v2: branch table + LEB128-packed event stream (lossless)"
+    }
+
+    fn extensions(&self) -> &'static [&'static str] {
+        &["ttr"]
+    }
+
+    fn matches_magic(&self, prefix: &[u8]) -> bool {
+        prefix.starts_with(TTR_MAGIC)
+    }
+
+    fn encode(&self, w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
+        encode(w, trace)
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn TraceDecoder + Send>> {
+        let f = std::fs::File::open(path)?;
+        Ok(Box::new(TtrReader::new(io::BufReader::new(f))?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::suite::{by_name, Scale};
+
+    fn encode_vec(t: &Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        encode(&mut buf, t).unwrap();
+        buf
+    }
+
+    fn decode_vec(buf: &[u8]) -> io::Result<Trace> {
+        let mut r = TtrReader::new(buf)?;
+        let mut events = Vec::new();
+        while let Some(e) = r.next_event() {
+            events.push(e);
+        }
+        if let Some(e) = r.error.take() {
+            return Err(e);
+        }
+        Ok(Trace { name: r.name.clone(), category: r.category.clone(), events })
+    }
+
+    #[test]
+    fn suite_trace_round_trips_losslessly() {
+        let t = by_name("INT02", Scale::Tiny).unwrap().generate();
+        let back = decode_vec(&encode_vec(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn uncond_events_round_trip() {
+        let t = by_name("CLIENT01", Scale::Tiny).unwrap().generate();
+        assert!(t.events.iter().any(|e| !e.kind.is_conditional()));
+        assert_eq!(decode_vec(&encode_vec(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn divergent_targets_use_overrides() {
+        // Same (pc, taken) with two different targets: the second event
+        // must survive via the override path.
+        let mk = |target| TraceEvent {
+            pc: 0x100,
+            kind: BranchKind::IndirectJump,
+            taken: true,
+            target,
+            uops_before: 3,
+            load_addr: None,
+        };
+        let t = Trace {
+            name: "ind".into(),
+            category: "TEST".into(),
+            events: vec![mk(0x8000), mk(0x9000), mk(0x8000)],
+        };
+        assert_eq!(decode_vec(&encode_vec(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn extreme_addresses_round_trip() {
+        let mk = |pc, target| TraceEvent {
+            pc,
+            kind: BranchKind::Conditional,
+            taken: pc % 2 == 0,
+            target,
+            uops_before: u16::MAX,
+            load_addr: Some(u64::MAX),
+        };
+        let t = Trace {
+            name: "edge".into(),
+            category: "TEST".into(),
+            events: vec![mk(0, u64::MAX), mk(u64::MAX, 0), mk(1 << 63, 1)],
+        };
+        assert_eq!(decode_vec(&encode_vec(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_compression() {
+        assert!(decode_vec(b"NOTATTR2________").is_err());
+        let t = Trace { name: "x".into(), category: "X".into(), events: vec![] };
+        let mut buf = encode_vec(&t);
+        buf[8] = 7; // unknown compression scheme
+        assert!(decode_vec(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_and_oversized_table() {
+        let t = by_name("WS01", Scale::Tiny).unwrap().generate();
+        let mut buf = encode_vec(&t);
+        buf.truncate(buf.len() / 3);
+        assert!(decode_vec(&buf).is_err());
+        // Header claiming a huge branch table must be rejected before any
+        // allocation of that size.
+        let empty = Trace { name: "x".into(), category: "X".into(), events: vec![] };
+        let mut buf = encode_vec(&empty);
+        let bc_pos = 8 + 1 + 2 + 1 + 2 + 1; // magic+comp+name("x")+cat("X")
+        buf[bc_pos..bc_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_vec(&buf).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_event_index() {
+        let t = Trace {
+            name: "x".into(),
+            category: "X".into(),
+            events: vec![TraceEvent {
+                pc: 4,
+                kind: BranchKind::Conditional,
+                taken: true,
+                target: 8,
+                uops_before: 0,
+                load_addr: None,
+            }],
+        };
+        let mut buf = encode_vec(&t);
+        // The event stream starts right after the single table entry; bump
+        // its index delta to point past the table.
+        let ev_start = buf.len() - 3; // index_delta + flags + uops
+        buf[ev_start] = 0x04; // zigzag(2)
+        assert!(decode_vec(&buf).is_err());
+    }
+
+    #[test]
+    fn packed_stream_is_compact() {
+        let t = by_name("MM01", Scale::Tiny).unwrap().generate();
+        let packed = encode_vec(&t).len() as f64;
+        // The v1 fixed-width codec spends 21–29 bytes/event.
+        let v1 = {
+            let mut buf = Vec::new();
+            workloads::io::write_trace(&mut buf, &t).unwrap();
+            buf.len() as f64
+        };
+        assert!(
+            packed < v1 / 3.0,
+            "packed {packed} bytes vs fixed-width {v1} bytes"
+        );
+    }
+}

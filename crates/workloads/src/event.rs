@@ -108,6 +108,24 @@ pub trait EventSource {
     }
 }
 
+/// Boxed sources forward, so `Box<dyn EventSource>` (and boxed subtraits,
+/// e.g. foreign-format trace decoders) plug directly into generic
+/// consumers like `pipeline::simulate_source`.
+impl<E: EventSource + ?Sized> EventSource for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn category(&self) -> &str {
+        (**self).category()
+    }
+
+    #[inline]
+    fn next_event(&mut self) -> Option<TraceEvent> {
+        (**self).next_event()
+    }
+}
+
 /// A borrowing [`EventSource`] over a materialized [`Trace`].
 #[derive(Clone, Debug)]
 pub struct TraceStream<'a> {
@@ -212,6 +230,25 @@ mod tests {
         assert_eq!(s.category(), "TEST");
         while s.next_event().is_some() {}
         assert_eq!(s.next_event(), None);
+    }
+
+    #[test]
+    fn boxed_dyn_source_forwards() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: vec![ev(4, true, 3), ev(8, false, 0)],
+        };
+        let mut boxed: Box<dyn EventSource + '_> = Box::new(t.stream());
+        assert_eq!(boxed.name(), "t");
+        assert_eq!(boxed.category(), "TEST");
+        let mut n = 0;
+        while boxed.next_event().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        let boxed: Box<dyn EventSource + '_> = Box::new(t.stream());
+        assert_eq!(boxed.collect_trace(), t);
     }
 
     #[test]

@@ -137,56 +137,169 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Trace> {
     Ok(Trace { name, category, events })
 }
 
+/// Fingerprint of the trace *generator's* observable behaviour, mixed into
+/// every [`TraceCache`] key.
+///
+/// The cache key used to be `(name, scale, FORMAT_VERSION)` only — editing
+/// `Program`/`behavior.rs` semantics silently served outdated traces until
+/// someone remembered to bump the codec version. This hashes the events of
+/// a probe program that exercises every [`Behavior`] variant, every
+/// [`Node`] kind, load sampling and µop jitter, so any change to generator
+/// output changes the fingerprint (and therefore the cache file names)
+/// automatically. Computed once per process.
+pub fn generator_fingerprint() -> u64 {
+    use std::sync::OnceLock;
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        use crate::behavior::Behavior;
+        use crate::program::{LoadModel, Node, PcAlloc, Program, Site, Trip};
+        use simkit::predictor::BranchKind;
+        // Coverage guards: these wildcard-free matches stop compiling the
+        // moment a Behavior or Node variant is added, forcing the probe
+        // program below to grow a site exercising it (otherwise the new
+        // variant would not move the fingerprint and the stale-cache
+        // hazard this function exists to close would reopen).
+        let _behavior_guard = |b: &Behavior| match b {
+            Behavior::Bias { .. }
+            | Behavior::Pattern { .. }
+            | Behavior::SparseCorr { .. }
+            | Behavior::HugePeriodic { .. }
+            | Behavior::Random
+            | Behavior::PhasedBias { .. } => (),
+        };
+        let _node_guard = |n: &Node| match n {
+            Node::Seq(_)
+            | Node::Site(_)
+            | Node::Loop { .. }
+            | Node::Select { .. }
+            | Node::Uncond { .. } => (),
+        };
+        let mut a = PcAlloc::new(0x1000);
+        let call_pc = a.pc();
+        let ret_pc = a.pc();
+        let root = Node::Seq(vec![
+            Node::Site(Site::new(a.pc(), Behavior::Bias { p: 0.7 }).load(0.5)),
+            Node::Site(Site::new(a.pc(), Behavior::pattern_str("1101"))),
+            Node::Site(Site::new(a.pc(), Behavior::SparseCorr { lag: 3, invert: true, noise: 0.1 })),
+            Node::Site(Site::new(a.pc(), Behavior::huge_periodic(64, 9))),
+            Node::Site(Site::new(a.pc(), Behavior::Random).uops(2)),
+            Node::Site(Site::new(
+                a.pc(),
+                Behavior::PhasedBias { p: 0.9, phase: 16, count: 0, flipped: false },
+            )),
+            Node::Loop {
+                site: Site::new(a.pc(), Behavior::Random),
+                trip: Trip::Fixed(4),
+                body: Box::new(Node::Site(Site::new(a.pc(), Behavior::Bias { p: 0.9 }))),
+            },
+            Node::Loop {
+                site: Site::new(a.pc(), Behavior::Random),
+                trip: Trip::Uniform(2, 5),
+                body: Box::new(Node::Seq(vec![])),
+            },
+            Node::Select {
+                sites: (0..8).map(|_| Site::new(a.pc(), Behavior::Bias { p: 0.8 })).collect(),
+                per_visit: 3,
+            },
+            Node::Uncond { pc: call_pc, kind: BranchKind::Call, target: ret_pc },
+            Node::Uncond { pc: ret_pc, kind: BranchKind::Return, target: call_pc + 8 },
+        ]);
+        let probe = Program {
+            name: "__generator_probe__".into(),
+            category: "PROBE".into(),
+            seed: 0x5EED_F17E_4B15,
+            root,
+            loads: LoadModel::cold(0.3, 1024),
+        };
+        let mut h = 0xCBF29CE484222325u64;
+        let mut mix = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(0x100000001B3);
+        };
+        for e in probe.generate(512).events {
+            mix(e.pc);
+            mix(e.target);
+            mix(u64::from(kind_code(e.kind)));
+            mix(u64::from(e.taken));
+            mix(u64::from(e.uops_before));
+            mix(e.load_addr.map_or(u64::MAX, |a| a));
+        }
+        h
+    })
+}
+
 /// An on-disk trace cache over the [`write_trace`]/[`read_trace`] codec,
-/// keyed by `(trace name, scale, format version)`.
+/// keyed by `(trace name, scale, format version, generator fingerprint)`.
 ///
 /// Generating a trace is deterministic but not free — at large scales it
 /// dominates experiment start-up — so the harness can persist generated
 /// traces here and reload them on the next invocation. The cache is purely
 /// an accelerator: every entry can be regenerated from its seed, corrupt
 /// or missing files are treated as misses, and store failures are
-/// non-fatal to callers.
+/// non-fatal to callers. The [`generator_fingerprint`] component makes
+/// entries from an older generator invisible (stale files are simply never
+/// matched) rather than wrongly served.
 #[derive(Clone, Debug)]
 pub struct TraceCache {
     dir: PathBuf,
+    fingerprint: u64,
 }
 
 impl TraceCache {
-    /// Opens (creating if needed) a cache rooted at `dir`.
+    /// Opens (creating if needed) a cache rooted at `dir`, keyed by the
+    /// current [`generator_fingerprint`].
     ///
     /// # Errors
     ///
     /// Returns any I/O error from creating the directory.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<Self> {
-        let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Self::with_fingerprint(dir, generator_fingerprint())
     }
 
-    /// The file a `(name, scale)` pair maps to under the current
-    /// [`FORMAT_VERSION`].
-    pub fn path(&self, name: &str, scale: Scale) -> PathBuf {
-        self.dir.join(format!("{name}.{scale}.v{FORMAT_VERSION}.trace"))
+    /// Opens a cache keyed by an explicit fingerprint (tests use this to
+    /// model a generator change without editing generator code).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory.
+    pub fn with_fingerprint(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, fingerprint })
+    }
+
+    /// The file a `(name, scale, spec fingerprint)` triple maps to under
+    /// the current [`FORMAT_VERSION`] and generator fingerprint.
+    /// `spec_fingerprint` is the *recipe's* structural fingerprint
+    /// ([`crate::TraceSpec::fingerprint`]): the generator fingerprint
+    /// catches edits to behaviour/program *semantics*, the spec
+    /// fingerprint catches edits to the recipe itself (parameters, seeds,
+    /// budgets) — together any change to generated output changes the key.
+    pub fn path(&self, name: &str, scale: Scale, spec_fingerprint: u64) -> PathBuf {
+        self.dir.join(format!(
+            "{name}.{scale}.v{FORMAT_VERSION}.g{:016x}.s{spec_fingerprint:016x}.trace",
+            self.fingerprint
+        ))
     }
 
     /// Loads a cached trace, or `None` on a miss. A file that exists but
     /// fails to decode, or whose recorded name disagrees with the key, is
     /// a miss (never an error): the caller regenerates and overwrites.
-    pub fn load(&self, name: &str, scale: Scale) -> Option<Trace> {
-        let f = std::fs::File::open(self.path(name, scale)).ok()?;
+    pub fn load(&self, name: &str, scale: Scale, spec_fingerprint: u64) -> Option<Trace> {
+        let f = std::fs::File::open(self.path(name, scale, spec_fingerprint)).ok()?;
         let t = read_trace(&mut io::BufReader::new(f)).ok()?;
         (t.name == name).then_some(t)
     }
 
-    /// Persists a trace under its `(name, scale, version)` key, writing to
-    /// a temporary file first so concurrent readers never observe a
-    /// partial entry.
+    /// Persists a trace under its `(name, scale, version, fingerprints)`
+    /// key, writing to a temporary file first so concurrent readers never
+    /// observe a partial entry.
     ///
     /// # Errors
     ///
     /// Returns any I/O error from writing or renaming the file.
-    pub fn store(&self, trace: &Trace, scale: Scale) -> io::Result<PathBuf> {
-        let path = self.path(&trace.name, scale);
+    pub fn store(&self, trace: &Trace, scale: Scale, spec_fingerprint: u64) -> io::Result<PathBuf> {
+        let path = self.path(&trace.name, scale, spec_fingerprint);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         {
             let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
@@ -241,32 +354,85 @@ mod tests {
     #[test]
     fn cache_miss_then_hit() {
         let cache = temp_cache("hit");
-        assert!(cache.load("MM03", Scale::Tiny).is_none());
-        let t = by_name("MM03", Scale::Tiny).unwrap().generate();
-        cache.store(&t, Scale::Tiny).unwrap();
-        assert_eq!(cache.load("MM03", Scale::Tiny).unwrap(), t);
-        // A different scale is a different key.
-        assert!(cache.load("MM03", Scale::Small).is_none());
+        let spec = by_name("MM03", Scale::Tiny).unwrap();
+        let fp = spec.fingerprint();
+        assert!(cache.load("MM03", Scale::Tiny, fp).is_none());
+        let t = spec.generate();
+        cache.store(&t, Scale::Tiny, fp).unwrap();
+        assert_eq!(cache.load("MM03", Scale::Tiny, fp).unwrap(), t);
+        // A different scale is a different key (and so is a different
+        // recipe fingerprint).
+        assert!(cache.load("MM03", Scale::Small, fp).is_none());
+        assert!(cache.load("MM03", Scale::Tiny, fp ^ 1).is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]
     fn cache_treats_corruption_as_miss() {
         let cache = temp_cache("corrupt");
-        let t = by_name("WS02", Scale::Tiny).unwrap().generate();
-        let path = cache.store(&t, Scale::Tiny).unwrap();
+        let spec = by_name("WS02", Scale::Tiny).unwrap();
+        let t = spec.generate();
+        let path = cache.store(&t, Scale::Tiny, spec.fingerprint()).unwrap();
         std::fs::write(&path, b"garbage").unwrap();
-        assert!(cache.load("WS02", Scale::Tiny).is_none());
+        assert!(cache.load("WS02", Scale::Tiny, spec.fingerprint()).is_none());
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 
     #[test]
-    fn cache_file_names_carry_version_and_scale() {
+    fn cache_file_names_carry_version_scale_and_fingerprints() {
         let cache = temp_cache("names");
-        let p = cache.path("CLIENT01", Scale::Default);
+        let p = cache.path("CLIENT01", Scale::Default, 0xABCD);
         let f = p.file_name().unwrap().to_str().unwrap();
-        assert_eq!(f, format!("CLIENT01.default.v{FORMAT_VERSION}.trace"));
+        assert_eq!(
+            f,
+            format!(
+                "CLIENT01.default.v{FORMAT_VERSION}.g{:016x}.s000000000000abcd.trace",
+                generator_fingerprint()
+            )
+        );
         let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn spec_fingerprints_distinguish_recipes_scales_and_are_stable() {
+        let a = by_name("WS03", Scale::Tiny).unwrap();
+        assert_eq!(a.fingerprint(), by_name("WS03", Scale::Tiny).unwrap().fingerprint());
+        // Different recipes and different budgets are different keys, so
+        // editing a recipe in suite.rs (which changes its program tree)
+        // or a scale budget can never serve a stale cached trace.
+        assert_ne!(a.fingerprint(), by_name("WS04", Scale::Tiny).unwrap().fingerprint());
+        assert_ne!(a.fingerprint(), by_name("WS03", Scale::Small).unwrap().fingerprint());
+    }
+
+    #[test]
+    fn generator_fingerprint_is_stable_within_a_process() {
+        assert_eq!(generator_fingerprint(), generator_fingerprint());
+        assert_ne!(generator_fingerprint(), 0);
+    }
+
+    #[test]
+    fn changed_generator_fingerprint_invalidates_cache() {
+        // Regression test for the stale-cache hazard: with the fingerprint
+        // in the key, a cache written by one generator version is a *miss*
+        // (not a wrong hit) for another.
+        let dir = std::env::temp_dir()
+            .join(format!("tage-trace-cache-test-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let old_gen = TraceCache::with_fingerprint(&dir, 0xDEAD).unwrap();
+        let new_gen = TraceCache::with_fingerprint(&dir, 0xBEEF).unwrap();
+        let spec = by_name("CLIENT01", Scale::Tiny).unwrap();
+        let (t, fp) = (spec.generate(), spec.fingerprint());
+        old_gen.store(&t, Scale::Tiny, fp).unwrap();
+        assert_eq!(old_gen.load("CLIENT01", Scale::Tiny, fp).unwrap(), t);
+        assert!(
+            new_gen.load("CLIENT01", Scale::Tiny, fp).is_none(),
+            "a different generator fingerprint must never serve the old trace"
+        );
+        // Both generations coexist side by side.
+        new_gen.store(&t, Scale::Tiny, fp).unwrap();
+        assert!(old_gen.load("CLIENT01", Scale::Tiny, fp).is_some());
+        assert!(new_gen.load("CLIENT01", Scale::Tiny, fp).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

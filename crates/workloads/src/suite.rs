@@ -143,6 +143,15 @@ impl TraceSpec {
     pub fn budget(&self) -> usize {
         self.budget
     }
+
+    /// Structural fingerprint of this recipe — the program tree plus the
+    /// budget. Editing anything that changes this spec's generated trace
+    /// (a behaviour parameter, a seed, `Scale::branches`, a budget
+    /// factor) changes the fingerprint, which keys the on-disk trace
+    /// cache.
+    pub fn fingerprint(&self) -> u64 {
+        self.program.fingerprint() ^ (self.budget as u64).wrapping_mul(0x9E3779B97F4A7C15)
+    }
 }
 
 /// The names of the 7 high-misprediction-rate traces (§2.2).
@@ -180,11 +189,12 @@ pub fn generate_parallel(
         .clamp(1, specs.len());
     let realize = |spec: &TraceSpec| -> Trace {
         if let Some(c) = cache {
-            if let Some(t) = c.load(&spec.name, scale) {
+            let fp = spec.fingerprint();
+            if let Some(t) = c.load(&spec.name, scale, fp) {
                 return t;
             }
             let t = spec.generate();
-            let _ = c.store(&t, scale);
+            let _ = c.store(&t, scale, fp);
             return t;
         }
         spec.generate()

@@ -117,8 +117,8 @@ proptest! {
         let spec = workloads::suite::by_name("MM02", Scale::Tiny).unwrap();
         let mut trace = spec.generate();
         trace.events.truncate(n);
-        cache.store(&trace, Scale::Tiny).unwrap();
-        let back = cache.load("MM02", Scale::Tiny).unwrap();
+        cache.store(&trace, Scale::Tiny, spec.fingerprint()).unwrap();
+        let back = cache.load("MM02", Scale::Tiny, spec.fingerprint()).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
         prop_assert_eq!(trace, back);
     }
