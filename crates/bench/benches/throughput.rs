@@ -63,6 +63,24 @@ fn throughput(c: &mut Criterion) {
             black_box(run_once(&mut p, &trace, UpdateScenario::RereadAtRetire))
         })
     });
+    g.bench_function("isl_tage_boxed_dyn", |b| {
+        // The same stack behind `Box<dyn BranchPredictor>` (the trace-mode
+        // / `tage_exp system` route): quantifies the cost of vtable
+        // dispatch plus per-branch flight boxing against `isl_tage`.
+        b.iter(|| {
+            let mut p: Box<dyn simkit::BranchPredictor> = Box::new(tage::TageSystem::isl_tage());
+            black_box(run_once(&mut p, &trace, UpdateScenario::RereadAtRetire))
+        })
+    });
+    g.bench_function("isl_tage_from_spec", |b| {
+        // Spec-assembled chain, monomorphized (the sweep route): measures
+        // the stage-chain walk against the preset constructor path.
+        let spec: tage::SystemSpec = "tage+ium+sc+loop/as=ISL-TAGE".parse().unwrap();
+        b.iter(|| {
+            let mut p = spec.build().unwrap();
+            black_box(run_once(&mut p, &trace, UpdateScenario::RereadAtRetire))
+        })
+    });
     g.bench_function("tage_lsc", |b| {
         b.iter(|| {
             let mut p = tage::TageSystem::tage_lsc();

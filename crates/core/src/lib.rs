@@ -10,21 +10,32 @@
 //!   iteration management (§5.2);
 //! * [`corrector::Gsc`] / [`corrector::Lsc`] — the global and local
 //!   Statistical Correctors (§5.3, §6);
-//! * [`TageSystem`] — composites with the paper's named presets:
+//! * [`stack::PredictorStack`] — the composition machinery: one TAGE
+//!   provider plus an *ordered chain* of side stages, evaluated in
+//!   declaration order;
+//! * [`spec::SystemSpec`] — the declarative, serializable form of a
+//!   stack (one-line spec strings with a canonical grammar, typed
+//!   [`spec::SpecError`] validation, and the paper's named presets as a
+//!   [`spec::PRESETS`] data table);
+//! * [`TageSystem`] — alias of the stack, with the paper's named presets:
 //!   [`TageSystem::isl_tage`], [`TageSystem::tage_lsc`],
 //!   [`TageSystem::full_stack`], and the scaled Figure-9 families.
 //!
-//! All predictors implement [`simkit::Predictor`], including the §4
+//! All predictors implement [`simkit::Predictor`] (and therefore the
+//! object-safe [`simkit::BranchPredictor`]), including the §4
 //! delayed-update scenarios `[I]/[A]/[B]/[C]` and access accounting with
 //! silent-update elimination.
 //!
 //! # Example
 //!
+//! Composing a stack declaratively and driving it:
+//!
 //! ```
 //! use simkit::{BranchInfo, Predictor, UpdateScenario};
-//! use tage::TageSystem;
+//! use tage::SystemSpec;
 //!
-//! let mut p = TageSystem::tage_lsc();
+//! let spec: SystemSpec = "tage:lsc+ium+lsc/as=TAGE-LSC".parse().unwrap();
+//! let mut p = spec.build().unwrap();
 //! let b = BranchInfo::conditional(0x40_0000);
 //! let (pred, mut flight) = p.predict(&b);
 //! let outcome = true;
@@ -40,6 +51,8 @@ pub mod config;
 pub mod corrector;
 pub mod ium;
 pub mod loop_pred;
+pub mod spec;
+pub mod stack;
 pub mod system;
 pub mod tage;
 pub mod tagged;
@@ -49,5 +62,7 @@ pub use config::{TageConfig, MAX_TAGGED};
 pub use corrector::{Gsc, Lsc};
 pub use ium::Ium;
 pub use loop_pred::LoopPredictor;
+pub use spec::{ProviderSpec, SpecError, StageSpec, SystemSpec, TageBase, PRESETS};
+pub use stack::{PredictorStack, SideStage, StackFlight, StageKind};
 pub use system::{SystemFlight, TageSystem};
 pub use tage::{Tage, TageFlight};

@@ -1,0 +1,519 @@
+//! The prediction stack: TAGE plus an *ordered chain* of side-predictor
+//! stages (§5–§6), assembled at runtime.
+//!
+//! The paper's predictors are compositions: ISL-TAGE is TAGE with the
+//! IUM, the loop predictor and the global Statistical Corrector bolted on
+//! one at a time (§5); TAGE-LSC swaps the last two for the local
+//! corrector (§6). [`PredictorStack`] models exactly that: one [`Tage`]
+//! provider (bimodal base + tagged components + chooser) followed by a
+//! chain of [`SideStage`]s evaluated **in order** at prediction time:
+//!
+//! ```text
+//! Tage ──pred──▶ [IUM] ──▶ [SC] ──▶ [LSC] ──▶ [loop] ──▶ final
+//!                filter     revert    revert     override
+//! ```
+//!
+//! Each stage receives the chained prediction of everything before it and
+//! may pass it through, revert it (the correctors), or override it (the
+//! loop predictor, on saturated confidence). The canonical paper order is
+//! IUM → SC → LSC → loop — the loop override sits on top of the
+//! correctors, as in Figures 6–7 — but the chain executes whatever order
+//! a [`SystemSpec`](crate::spec::SystemSpec) declares, so compositions
+//! the paper never measured (a corrector judging the loop output, say)
+//! are one spec string away.
+//!
+//! Stage semantics that survive reordering:
+//!
+//! * the IUM filters the *provider* prediction (it replays in-flight
+//!   outcomes onto the provider entry's stale counter), so the chain's
+//!   "main prediction" — the loop predictor's allocation baseline — is
+//!   the value after the IUM stage (after the provider when no IUM is
+//!   present);
+//! * each corrector judges the prediction entering *its* stage;
+//! * the loop predictor's usefulness credit compares against the
+//!   prediction entering *its* stage.
+//!
+//! For the canonical order this reproduces the monolithic pre-stack
+//! `TageSystem` bit for bit (pinned by the golden-table tests in the
+//! harness crate).
+
+use crate::config::TageConfig;
+use crate::corrector::{CorrectorFlight, Gsc, Lsc};
+use crate::ium::Ium;
+use crate::loop_pred::{LoopLookup, LoopPredictor};
+use crate::tage::{Tage, TageFlight};
+use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
+use simkit::stats::AccessStats;
+
+/// Default in-flight capacity for the IUM (matches the pipeline window).
+pub const DEFAULT_IUM_CAPACITY: usize = 64;
+
+/// Maximum side stages in a stack (one of each [`StageKind`]).
+pub const MAX_STAGES: usize = 4;
+
+/// The side-stage kinds, in canonical chain order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StageKind {
+    /// Immediate Update Mimicker (§5.1) — filters the provider prediction.
+    Ium,
+    /// Global Statistical Corrector (§5.3) — reverts unlikely predictions.
+    Gsc,
+    /// Local Statistical Corrector (§6) — same, with per-branch history.
+    Lsc,
+    /// Loop predictor (§5.2) — overrides on saturated confidence.
+    Loop,
+}
+
+impl StageKind {
+    /// The spec-grammar token (also the budget-table row name).
+    pub fn token(self) -> &'static str {
+        match self {
+            StageKind::Ium => "ium",
+            StageKind::Gsc => "sc",
+            StageKind::Lsc => "lsc",
+            StageKind::Loop => "loop",
+        }
+    }
+}
+
+/// One instantiated side-predictor stage.
+#[derive(Clone, Debug)]
+pub enum SideStage {
+    /// See [`StageKind::Ium`].
+    Ium(Ium),
+    /// See [`StageKind::Gsc`].
+    Gsc(Gsc),
+    /// See [`StageKind::Lsc`].
+    Lsc(Lsc),
+    /// See [`StageKind::Loop`].
+    Loop(LoopPredictor),
+}
+
+impl SideStage {
+    /// This stage's kind.
+    pub fn kind(&self) -> StageKind {
+        match self {
+            SideStage::Ium(_) => StageKind::Ium,
+            SideStage::Gsc(_) => StageKind::Gsc,
+            SideStage::Lsc(_) => StageKind::Lsc,
+            SideStage::Loop(_) => StageKind::Loop,
+        }
+    }
+
+    /// Storage of this stage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        match self {
+            SideStage::Ium(i) => i.storage_bits(),
+            SideStage::Gsc(g) => g.storage_bits(),
+            SideStage::Lsc(l) => l.storage_bits(),
+            SideStage::Loop(lp) => lp.storage_bits(),
+        }
+    }
+}
+
+/// Per-stage in-flight snapshot, recorded in chain order.
+#[derive(Clone, Copy, Debug, Default)]
+pub enum StageFlight {
+    /// Slot beyond the stack's stage count.
+    #[default]
+    None,
+    /// IUM: the in-flight sequence handle and the override, if any.
+    Ium {
+        /// Sequence handle from [`Ium::push`] (filled at fetch-commit).
+        seq: u64,
+        /// The mimicked direction, when it overrode the chained prediction.
+        overrode: Option<bool>,
+    },
+    /// Global corrector read.
+    Gsc(CorrectorFlight),
+    /// Local corrector read.
+    Lsc(CorrectorFlight),
+    /// Loop predictor lookup.
+    Loop {
+        /// Lookup result (a hit, confident or not), if any.
+        hit: Option<LoopLookup>,
+        /// Whether the loop prediction was used (confident hit).
+        used: bool,
+        /// The chained prediction entering the loop stage.
+        pre_pred: bool,
+    },
+}
+
+/// In-flight snapshot for [`PredictorStack`]: the provider read plus one
+/// slot per side stage.
+#[derive(Clone, Copy, Debug)]
+pub struct StackFlight {
+    /// The TAGE provider snapshot.
+    pub tage: TageFlight,
+    /// Per-stage snapshots, indexed like the stack's stage chain.
+    stages: [StageFlight; MAX_STAGES],
+    /// The "main" prediction: after the provider and the IUM stage — the
+    /// loop predictor's allocation baseline.
+    pub main_pred: bool,
+    /// The final prediction of the whole stack.
+    pub final_pred: bool,
+}
+
+impl StackFlight {
+    /// The IUM's corrected prediction, when it overrode the chain.
+    pub fn ium_override(&self) -> Option<bool> {
+        self.stages.iter().find_map(|s| match s {
+            StageFlight::Ium { overrode, .. } => *overrode,
+            _ => None,
+        })
+    }
+
+    /// Whether the loop predictor's prediction was used.
+    pub fn loop_used(&self) -> bool {
+        self.stages
+            .iter()
+            .any(|s| matches!(s, StageFlight::Loop { used: true, .. }))
+    }
+}
+
+/// A TAGE provider composed with an ordered chain of side stages.
+///
+/// Assemble one from a [`SystemSpec`](crate::spec::SystemSpec) (the
+/// declarative route), from the [named presets](Self::isl_tage), or from
+/// the [`with_ium`](Self::with_ium)-style builders (which insert at the
+/// canonical chain position).
+#[derive(Clone, Debug)]
+pub struct PredictorStack {
+    tage: Tage,
+    stages: Vec<SideStage>,
+    /// §7.2 knob: when set, the LSC tables are always updated from a
+    /// retire-time re-read even if the TAGE components run scenario
+    /// \[B\]/\[C\] ("optimization applied only to the TAGE components").
+    lsc_always_reread: bool,
+    side_stats: AccessStats,
+    label: String,
+}
+
+impl PredictorStack {
+    /// A bare TAGE stack (no side stages).
+    pub fn new(cfg: TageConfig) -> Self {
+        Self {
+            tage: Tage::new(cfg),
+            stages: Vec::new(),
+            lsc_always_reread: false,
+            side_stats: AccessStats::default(),
+            label: "TAGE".to_string(),
+        }
+    }
+
+    /// Assembles a stack from an already-validated chain. The stages run
+    /// in the given order; callers wanting the paper's semantics list
+    /// them in canonical order (IUM, SC, LSC, loop).
+    pub(crate) fn from_parts(tage: Tage, stages: Vec<SideStage>) -> Self {
+        debug_assert!(stages.len() <= MAX_STAGES);
+        let mut stack = Self {
+            tage,
+            stages,
+            lsc_always_reread: false,
+            side_stats: AccessStats::default(),
+            label: String::new(),
+        };
+        stack.relabel();
+        stack
+    }
+
+    /// Switches every component (TAGE tables and any LSC tables) to
+    /// 4-way bank-interleaved single-ported arrays (§4.3, §7.1).
+    pub fn interleaved(mut self) -> Self {
+        self.tage.enable_interleaving();
+        for stage in &mut self.stages {
+            if let SideStage::Lsc(lsc) = stage {
+                lsc.enable_interleaving();
+            }
+        }
+        self
+    }
+
+    /// §7.2: keep re-reading the *local* corrector at retire while the
+    /// TAGE components skip the retire read on correct predictions.
+    pub fn lsc_always_reread(mut self) -> Self {
+        self.lsc_always_reread = true;
+        self
+    }
+
+    /// Inserts (or replaces) a stage at its canonical chain position.
+    fn insert_canonical(&mut self, stage: SideStage) {
+        let kind = stage.kind();
+        if let Some(slot) = self.stages.iter_mut().find(|s| s.kind() == kind) {
+            *slot = stage;
+        } else {
+            let at = self.stages.iter().position(|s| s.kind() > kind).unwrap_or(self.stages.len());
+            self.stages.insert(at, stage);
+        }
+        self.relabel();
+    }
+
+    /// Adds an Immediate Update Mimicker (§5.1) at the canonical position.
+    pub fn with_ium(mut self, capacity: usize) -> Self {
+        self.insert_canonical(SideStage::Ium(Ium::new(capacity)));
+        self
+    }
+
+    /// Adds a loop predictor (§5.2) at the canonical position.
+    pub fn with_loop(mut self, lp: LoopPredictor) -> Self {
+        self.insert_canonical(SideStage::Loop(lp));
+        self
+    }
+
+    /// Adds a global-history statistical corrector (§5.3) at the
+    /// canonical position.
+    pub fn with_gsc(mut self, gsc: Gsc) -> Self {
+        self.insert_canonical(SideStage::Gsc(gsc));
+        self
+    }
+
+    /// Adds a local-history statistical corrector (§6) at the canonical
+    /// position.
+    pub fn with_lsc(mut self, lsc: Lsc) -> Self {
+        self.insert_canonical(SideStage::Lsc(lsc));
+        self
+    }
+
+    fn relabel(&mut self) {
+        let mut label = "TAGE".to_string();
+        for kind in [StageKind::Ium, StageKind::Loop, StageKind::Gsc, StageKind::Lsc] {
+            if self.stage(kind).is_some() {
+                label.push_str(match kind {
+                    StageKind::Ium => "+IUM",
+                    StageKind::Loop => "+LOOP",
+                    StageKind::Gsc => "+SC",
+                    StageKind::Lsc => "+LSC",
+                });
+            }
+        }
+        self.label = label;
+    }
+
+    /// Overrides the display label (used by the named presets).
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.label = label.to_string();
+        self
+    }
+
+    fn stage(&self, kind: StageKind) -> Option<&SideStage> {
+        self.stages.iter().find(|s| s.kind() == kind)
+    }
+
+    /// The inner TAGE provider (diagnostics).
+    pub fn tage(&self) -> &Tage {
+        &self.tage
+    }
+
+    /// The side-stage chain, in evaluation order.
+    pub fn stages(&self) -> &[SideStage] {
+        &self.stages
+    }
+
+    /// Per-component storage budget, in chain order: `("tage", bits)`
+    /// followed by one row per side stage. Sums to
+    /// [`Predictor::storage_bits`].
+    pub fn budget(&self) -> Vec<(&'static str, u64)> {
+        let mut rows = vec![("tage", self.tage.storage_bits())];
+        rows.extend(self.stages.iter().map(|s| (s.kind().token(), s.storage_bits())));
+        rows
+    }
+
+    /// Debug view of the loop predictor entry for `pc` (diagnostics).
+    pub fn loop_debug(&self, pc: u64) -> Option<(u16, u16, u16, u8, u8)> {
+        self.stages.iter().find_map(|s| match s {
+            SideStage::Loop(lp) => lp.debug_entry(pc),
+            _ => None,
+        })
+    }
+
+    /// IUM override count so far, if an IUM is attached.
+    pub fn ium_overrides(&self) -> Option<u64> {
+        self.stage(StageKind::Ium).map(|s| match s {
+            SideStage::Ium(i) => i.override_count(),
+            _ => unreachable!(),
+        })
+    }
+
+    /// Revert counts of the attached correctors (global, local).
+    pub fn revert_counts(&self) -> (Option<u64>, Option<u64>) {
+        let get = |kind| {
+            self.stage(kind).map(|s| match s {
+                SideStage::Gsc(g) => g.revert_count(),
+                SideStage::Lsc(l) => l.revert_count(),
+                _ => unreachable!(),
+            })
+        };
+        (get(StageKind::Gsc), get(StageKind::Lsc))
+    }
+}
+
+impl Predictor for PredictorStack {
+    type Flight = StackFlight;
+
+    fn name(&self) -> String {
+        format!("{}-{}Kbit", self.label, (self.storage_bits() + 512) / 1024)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.tage.storage_bits() + self.stages.iter().map(SideStage::storage_bits).sum::<u64>()
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, StackFlight) {
+        let (tage_pred, tf) = self.tage.predict(b);
+        let ctr_bits = self.tage.config().ctr_bits;
+        let centered = tf.provider_centered();
+        let mut pred = tage_pred;
+        let mut main_pred = tage_pred;
+        let mut flights = [StageFlight::None; MAX_STAGES];
+
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            flights[i] = match stage {
+                // IUM: mimic the immediate update. Replay the outcomes of
+                // every executed-but-not-retired occurrence of the provider
+                // entry onto the stale counter value; if the mimicked
+                // counter predicts differently, use the mimicked direction
+                // (§5.1).
+                SideStage::Ium(ium) => {
+                    let (comp, idx) = tf.provider_entry();
+                    let (outcomes, n) = ium.executed_outcomes(comp, idx);
+                    let mut overrode = None;
+                    if n > 0 {
+                        let mimicked = match tf.provider {
+                            Some(p) => {
+                                let mut c = simkit::SignedCounter::with_value(
+                                    ctr_bits,
+                                    tf.ctrs[p as usize],
+                                );
+                                for &o in &outcomes[..n] {
+                                    c.update(o);
+                                }
+                                c.is_taken()
+                            }
+                            None => {
+                                // Bimodal provider: replay onto the 2-bit state.
+                                let mut c = (tf.base.pred as i16) * 2 + tf.base.hyst as i16;
+                                for &o in &outcomes[..n] {
+                                    c = if o { (c + 1).min(3) } else { (c - 1).max(0) };
+                                }
+                                c >= 2
+                            }
+                        };
+                        if mimicked != pred {
+                            ium.note_override();
+                            overrode = Some(mimicked);
+                            pred = mimicked;
+                        }
+                    }
+                    main_pred = pred;
+                    StageFlight::Ium { seq: 0, overrode }
+                }
+                SideStage::Gsc(g) => {
+                    let f = g.predict(b.pc, pred, centered);
+                    if f.revert {
+                        pred = f.sc_pred;
+                    }
+                    StageFlight::Gsc(f)
+                }
+                SideStage::Lsc(l) => {
+                    let f = l.predict(b.pc, pred, centered);
+                    if f.revert {
+                        pred = f.sc_pred;
+                    }
+                    StageFlight::Lsc(f)
+                }
+                SideStage::Loop(lp) => {
+                    let hit = lp.lookup(b.pc);
+                    let pre_pred = pred;
+                    let mut used = false;
+                    if let Some(lh) = hit {
+                        if lh.confident {
+                            pred = lh.pred;
+                            used = true;
+                        }
+                    }
+                    StageFlight::Loop { hit, used, pre_pred }
+                }
+            };
+        }
+
+        let flight = StackFlight { tage: tf, stages: flights, main_pred, final_pred: pred };
+        (pred, flight)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut StackFlight) {
+        self.tage.fetch_commit(b, outcome, &mut flight.tage);
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            match stage {
+                SideStage::Ium(ium) => {
+                    let (comp, idx) = flight.tage.provider_entry();
+                    if let StageFlight::Ium { seq, .. } = &mut flight.stages[i] {
+                        *seq = ium.push(comp, idx);
+                    }
+                }
+                SideStage::Gsc(g) => g.on_branch(outcome),
+                SideStage::Lsc(l) => l.spec_update(b.pc, outcome),
+                SideStage::Loop(lp) => lp.spec_update(b.pc, outcome),
+            }
+        }
+    }
+
+    fn execute(&mut self, _b: &BranchInfo, outcome: bool, flight: &mut StackFlight) {
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            if let SideStage::Ium(ium) = stage {
+                if let StageFlight::Ium { seq, .. } = flight.stages[i] {
+                    ium.mark_executed(seq, outcome);
+                }
+            }
+        }
+    }
+
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: StackFlight,
+        scenario: UpdateScenario,
+    ) {
+        let mispredicted = predicted != outcome;
+        let reread = scenario.reread_at_retire(mispredicted);
+
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            match (stage, &flight.stages[i]) {
+                (SideStage::Ium(ium), StageFlight::Ium { .. }) => ium.retire_oldest(),
+                (SideStage::Gsc(g), StageFlight::Gsc(gf)) => {
+                    g.update(gf, outcome, reread, &mut self.side_stats);
+                }
+                (SideStage::Lsc(l), StageFlight::Lsc(lf)) => {
+                    l.update(lf, outcome, reread || self.lsc_always_reread, &mut self.side_stats);
+                }
+                (SideStage::Loop(lp), StageFlight::Loop { used, pre_pred, .. }) => {
+                    // Allocate for branches the main (TAGE+IUM) prediction
+                    // missed; age credit when the loop prediction fixed a
+                    // miss (§5.2).
+                    let allocate = flight.main_pred != outcome;
+                    let useful =
+                        *used && flight.final_pred == outcome && *pre_pred != outcome;
+                    lp.retire_update(b.pc, outcome, allocate, useful);
+                }
+                _ => unreachable!("stage/flight chain mismatch"),
+            }
+        }
+        self.tage.retire(b, outcome, predicted, flight.tage, scenario);
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        self.tage.note_uncond(b);
+    }
+
+    fn stats(&self) -> AccessStats {
+        let mut s = self.tage.stats();
+        s.merge(&self.side_stats);
+        s
+    }
+
+    fn reset_stats(&mut self) {
+        self.tage.reset_stats();
+        self.side_stats = AccessStats::default();
+    }
+}

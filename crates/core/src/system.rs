@@ -1,421 +1,119 @@
-//! Composite predictors: TAGE plus its side predictors (§5–§6).
+//! Named predictor presets (§5–§7) over the [`PredictorStack`].
 //!
-//! [`TageSystem`] assembles the main TAGE predictor with any combination
-//! of the paper's side predictors:
-//!
-//! * the **IUM** (§5.1), correcting predictions served by entries with
-//!   executed-but-not-retired in-flight occurrences;
-//! * the **loop predictor** (§5.2), overriding on high-confidence
-//!   constant-trip loops;
-//! * the **global Statistical Corrector** (§5.3), reverting statistically
-//!   unlikely predictions;
-//! * the **local Statistical Corrector** (§6), doing the same with
-//!   per-branch local history.
-//!
-//! Predictions chain exactly as in Figures 6–7: TAGE → IUM → SC → LSC,
-//! with the loop predictor override on top. Presets reproduce the paper's
-//! named predictors: `ISL-TAGE` (= TAGE + IUM + loop + SC) and `TAGE-LSC`
-//! (= TAGE with T7 halved + IUM + LSC).
+//! Historically this module held a monolithic `TageSystem` struct with
+//! one `Option` field per side predictor; the composition logic now lives
+//! in [`crate::stack`] as an ordered stage chain and the *what* lives in
+//! [`crate::spec`] as declarative [`SystemSpec`] strings. What remains
+//! here is the paper's naming: `TageSystem` is an alias for the stack,
+//! and each named predictor — ISL-TAGE, TAGE-LSC, L-TAGE, the Figure 9
+//! scaled families — is a preset spec resolved through
+//! [`SystemSpec::preset`]. The presets are bit-identical to the old
+//! hand-wired compositions (pinned by the golden-table tests in the
+//! harness crate).
 
-use crate::config::TageConfig;
-use crate::corrector::{CorrectorFlight, Gsc, Lsc};
-use crate::ium::Ium;
-use crate::loop_pred::{LoopLookup, LoopPredictor};
-use crate::tage::{Tage, TageFlight};
-use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
-use simkit::stats::AccessStats;
+use crate::spec::SystemSpec;
+pub use crate::stack::DEFAULT_IUM_CAPACITY;
+use crate::stack::PredictorStack;
 
-/// Default in-flight capacity for the IUM (matches the pipeline window).
-pub const DEFAULT_IUM_CAPACITY: usize = 64;
+/// The composite predictor type: a TAGE provider plus an ordered chain
+/// of side stages. (Alias kept from the pre-stack API.)
+pub type TageSystem = PredictorStack;
 
-/// A TAGE predictor composed with optional side predictors.
-#[derive(Clone, Debug)]
-pub struct TageSystem {
-    tage: Tage,
-    ium: Option<Ium>,
-    loop_pred: Option<LoopPredictor>,
-    gsc: Option<Gsc>,
-    lsc: Option<Lsc>,
-    /// §7.2 knob: when set, the LSC tables are always updated from a
-    /// retire-time re-read even if the TAGE components run scenario
-    /// \[B\]/\[C\] ("optimization applied only to the TAGE components").
-    lsc_always_reread: bool,
-    side_stats: AccessStats,
-    label: String,
+/// In-flight snapshot of a [`TageSystem`]. (Alias kept from the
+/// pre-stack API.)
+pub type SystemFlight = crate::stack::StackFlight;
+
+fn preset(name: &str) -> PredictorStack {
+    SystemSpec::preset(name)
+        .unwrap_or_else(|| panic!("unknown preset '{name}'"))
+        .build()
+        .expect("presets build")
 }
 
-/// In-flight snapshot for [`TageSystem`].
-#[derive(Clone, Copy, Debug)]
-pub struct SystemFlight {
-    /// The TAGE snapshot.
-    pub tage: TageFlight,
-    ium_seq: u64,
-    /// The IUM's corrected prediction, when it overrode TAGE.
-    pub ium_override: Option<bool>,
-    /// Prediction after the IUM stage (the "TAGE + IUM" output).
-    pub base_pred: bool,
-    /// Global corrector snapshot.
-    pub gsc: Option<CorrectorFlight>,
-    /// Local corrector snapshot.
-    pub lsc: Option<CorrectorFlight>,
-    /// Prediction entering the loop-predictor stage.
-    pub pre_loop_pred: bool,
-    /// Loop predictor lookup result.
-    pub loop_hit: Option<LoopLookup>,
-    /// Whether the loop predictor's prediction was used.
-    pub loop_used: bool,
-    /// The final prediction of the whole system.
-    pub final_pred: bool,
-}
-
-impl TageSystem {
-    /// A bare TAGE system (no side predictors).
-    pub fn new(cfg: TageConfig) -> Self {
-        Self {
-            tage: Tage::new(cfg),
-            ium: None,
-            loop_pred: None,
-            gsc: None,
-            lsc: None,
-            lsc_always_reread: false,
-            side_stats: AccessStats::default(),
-            label: "TAGE".to_string(),
-        }
-    }
-
-    /// Switches every component (TAGE tables and any LSC tables) to
-    /// 4-way bank-interleaved single-ported arrays (§4.3, §7.1).
-    pub fn interleaved(mut self) -> Self {
-        self.tage.enable_interleaving();
-        if let Some(lsc) = &mut self.lsc {
-            lsc.enable_interleaving();
-        }
-        self
-    }
-
-    /// §7.2: keep re-reading the *local* corrector at retire while the
-    /// TAGE components skip the retire read on correct predictions.
-    pub fn lsc_always_reread(mut self) -> Self {
-        self.lsc_always_reread = true;
-        self
-    }
-
-    /// The §7 cost-effective 512 Kbit TAGE-LSC: 4-way interleaved
-    /// single-ported tables with the local components doubled (§7.1).
-    pub fn tage_lsc_cost_effective() -> Self {
-        Self::new(TageConfig::tage_lsc_core())
-            .with_ium(DEFAULT_IUM_CAPACITY)
-            .with_lsc(Lsc::cbp_30kbit_interleaved())
-            .labeled("TAGE-LSC-interleaved")
-            .interleaved()
-    }
-
-    /// Adds an Immediate Update Mimicker (§5.1).
-    pub fn with_ium(mut self, capacity: usize) -> Self {
-        self.ium = Some(Ium::new(capacity));
-        self.relabel();
-        self
-    }
-
-    /// Adds a loop predictor (§5.2).
-    pub fn with_loop(mut self, lp: LoopPredictor) -> Self {
-        self.loop_pred = Some(lp);
-        self.relabel();
-        self
-    }
-
-    /// Adds a global-history statistical corrector (§5.3).
-    pub fn with_gsc(mut self, gsc: Gsc) -> Self {
-        self.gsc = Some(gsc);
-        self.relabel();
-        self
-    }
-
-    /// Adds a local-history statistical corrector (§6).
-    pub fn with_lsc(mut self, lsc: Lsc) -> Self {
-        self.lsc = Some(lsc);
-        self.relabel();
-        self
-    }
-
-    fn relabel(&mut self) {
-        let mut label = "TAGE".to_string();
-        if self.ium.is_some() {
-            label.push_str("+IUM");
-        }
-        if self.loop_pred.is_some() {
-            label.push_str("+LOOP");
-        }
-        if self.gsc.is_some() {
-            label.push_str("+SC");
-        }
-        if self.lsc.is_some() {
-            label.push_str("+LSC");
-        }
-        self.label = label;
-    }
-
-    /// Overrides the display label (used by the named presets).
-    pub fn labeled(mut self, label: &str) -> Self {
-        self.label = label.to_string();
-        self
-    }
-
+impl PredictorStack {
     /// The §3.4 reference 64 KB TAGE, no side predictors.
     pub fn reference_tage() -> Self {
-        Self::new(TageConfig::reference_64kb())
+        preset("tage")
     }
 
-    /// Reference TAGE + IUM.
+    /// Reference TAGE + IUM (§5.1).
     pub fn tage_ium() -> Self {
-        Self::reference_tage().with_ium(DEFAULT_IUM_CAPACITY)
+        preset("tage-ium")
     }
 
     /// The L-TAGE predictor (TAGE + loop predictor — the CBP-2 winner the
     /// paper uses as its §2.2 base predictor).
     pub fn l_tage() -> Self {
-        Self::reference_tage().with_loop(LoopPredictor::cbp_64()).labeled("L-TAGE")
+        preset("l-tage")
     }
 
     /// The ISL-TAGE predictor (§5): TAGE + IUM + loop predictor + global
     /// statistical corrector.
     pub fn isl_tage() -> Self {
-        Self::reference_tage()
-            .with_ium(DEFAULT_IUM_CAPACITY)
-            .with_loop(LoopPredictor::cbp_64())
-            .with_gsc(Gsc::cbp_24kbit())
-            .labeled("ISL-TAGE")
+        preset("isl-tage")
     }
 
     /// The TAGE-LSC predictor (§6.1): the reference TAGE with T7 halved,
     /// plus IUM and the local statistical corrector — 512 Kbit total.
     pub fn tage_lsc() -> Self {
-        Self::new(TageConfig::tage_lsc_core())
-            .with_ium(DEFAULT_IUM_CAPACITY)
-            .with_lsc(Lsc::cbp_30kbit())
-            .labeled("TAGE-LSC")
+        preset("tage-lsc")
     }
 
     /// The full §6.1 stack: TAGE + IUM + loop + SC + LSC (the 555 MPPKI
     /// configuration of the paper).
     pub fn full_stack() -> Self {
-        Self::reference_tage()
-            .with_ium(DEFAULT_IUM_CAPACITY)
-            .with_loop(LoopPredictor::cbp_64())
-            .with_gsc(Gsc::cbp_24kbit())
-            .with_lsc(Lsc::cbp_30kbit())
-            .labeled("TAGE+IUM+LOOP+SC+LSC")
+        preset("full-stack")
+    }
+
+    /// The §7 cost-effective 512 Kbit TAGE-LSC: 4-way interleaved
+    /// single-ported tables with the local components doubled (§7.1).
+    pub fn tage_lsc_cost_effective() -> Self {
+        preset("tage-lsc-ce")
     }
 
     /// A scaled plain TAGE for the Figure 9 sweep (`delta` in powers of
     /// two relative to the 512 Kbit reference).
     pub fn scaled_tage(delta: i32) -> Self {
-        Self::new(TageConfig::reference_64kb().scaled(delta))
+        SystemSpec::scaled_tage(delta).build().expect("scaled preset builds")
     }
 
     /// A scaled TAGE-LSC for the Figure 9 sweep.
     pub fn scaled_tage_lsc(delta: i32) -> Self {
-        Self::new(TageConfig::tage_lsc_core().scaled(delta))
-            .with_ium(DEFAULT_IUM_CAPACITY)
-            .with_lsc(Lsc::cbp_30kbit().scaled(delta))
-            .labeled("TAGE-LSC")
-    }
-
-    /// The inner TAGE predictor (diagnostics).
-    pub fn tage(&self) -> &Tage {
-        &self.tage
-    }
-
-    /// Debug view of the loop predictor entry for `pc` (diagnostics).
-    pub fn loop_debug(&self, pc: u64) -> Option<(u16, u16, u16, u8, u8)> {
-        self.loop_pred.as_ref().and_then(|lp| lp.debug_entry(pc))
-    }
-
-    /// IUM override count so far, if an IUM is attached.
-    pub fn ium_overrides(&self) -> Option<u64> {
-        self.ium.as_ref().map(Ium::override_count)
-    }
-
-    /// Revert counts of the attached correctors (global, local).
-    pub fn revert_counts(&self) -> (Option<u64>, Option<u64>) {
-        (self.gsc.as_ref().map(Gsc::revert_count), self.lsc.as_ref().map(Lsc::revert_count))
+        SystemSpec::scaled_tage_lsc(delta).build().expect("scaled preset builds")
     }
 }
 
-impl Predictor for TageSystem {
-    type Flight = SystemFlight;
-
-    fn name(&self) -> String {
-        format!("{}-{}Kbit", self.label, (self.storage_bits() + 512) / 1024)
+impl SystemSpec {
+    /// The Figure 9 scaled plain-TAGE spec (`scaled_tage(0)` *is* the
+    /// reference spec, so the delta-0 sweep point shares its memo label
+    /// and cached suite).
+    pub fn scaled_tage(delta: i32) -> Self {
+        let mut spec = SystemSpec::preset("tage").expect("preset");
+        spec.provider.scale = delta;
+        spec
     }
 
-    fn storage_bits(&self) -> u64 {
-        self.tage.storage_bits()
-            + self.ium.as_ref().map_or(0, Ium::storage_bits)
-            + self.loop_pred.as_ref().map_or(0, LoopPredictor::storage_bits)
-            + self.gsc.as_ref().map_or(0, Gsc::storage_bits)
-            + self.lsc.as_ref().map_or(0, Lsc::storage_bits)
-    }
-
-    fn predict(&mut self, b: &BranchInfo) -> (bool, SystemFlight) {
-        let (tage_pred, tf) = self.tage.predict(b);
-        let mut pred = tage_pred;
-
-        // 1. IUM: mimic the immediate update. Replay the outcomes of every
-        // executed-but-not-retired occurrence of the provider entry onto
-        // the stale counter value; if the mimicked counter predicts
-        // differently, use the mimicked direction (§5.1).
-        let mut ium_override = None;
-        if let Some(ium) = &mut self.ium {
-            let (comp, idx) = tf.provider_entry();
-            let (outcomes, n) = ium.executed_outcomes(comp, idx);
-            if n > 0 {
-                let mimicked = match tf.provider {
-                    Some(p) => {
-                        let mut c = simkit::SignedCounter::with_value(
-                            self.tage.config().ctr_bits,
-                            tf.ctrs[p as usize],
-                        );
-                        for &o in &outcomes[..n] {
-                            c.update(o);
-                        }
-                        c.is_taken()
-                    }
-                    None => {
-                        // Bimodal provider: replay onto the 2-bit state.
-                        let mut c = (tf.base.pred as i16) * 2 + tf.base.hyst as i16;
-                        for &o in &outcomes[..n] {
-                            c = if o { (c + 1).min(3) } else { (c - 1).max(0) };
-                        }
-                        c >= 2
-                    }
-                };
-                if mimicked != pred {
-                    ium.note_override();
-                    ium_override = Some(mimicked);
-                    pred = mimicked;
-                }
+    /// The Figure 9 scaled TAGE-LSC spec (TAGE core and LSC scale
+    /// together, as in §7.1).
+    pub fn scaled_tage_lsc(delta: i32) -> Self {
+        let mut spec = SystemSpec::preset("tage-lsc").expect("preset");
+        spec.provider.scale = delta;
+        for stage in &mut spec.stages {
+            if let crate::spec::StageSpec::Lsc { scale, .. } = stage {
+                *scale = delta;
             }
         }
-        let base_pred = pred;
-        let centered = tf.provider_centered();
-
-        // 2. Global statistical corrector.
-        let gsc_f = self.gsc.as_mut().map(|g| g.predict(b.pc, base_pred, centered));
-        if let Some(f) = &gsc_f {
-            if f.revert {
-                pred = f.sc_pred;
-            }
-        }
-
-        // 3. Local statistical corrector (judges the chained prediction).
-        let lsc_f = self.lsc.as_mut().map(|l| l.predict(b.pc, pred, centered));
-        if let Some(f) = &lsc_f {
-            if f.revert {
-                pred = f.sc_pred;
-            }
-        }
-        let pre_loop_pred = pred;
-
-        // 4. Loop predictor override on saturated confidence.
-        let loop_hit = self.loop_pred.as_ref().and_then(|lp| lp.lookup(b.pc));
-        let mut loop_used = false;
-        if let Some(lh) = loop_hit {
-            if lh.confident {
-                pred = lh.pred;
-                loop_used = true;
-            }
-        }
-
-        let flight = SystemFlight {
-            tage: tf,
-            ium_seq: 0,
-            ium_override,
-            base_pred,
-            gsc: gsc_f,
-            lsc: lsc_f,
-            pre_loop_pred,
-            loop_hit,
-            loop_used,
-            final_pred: pred,
-        };
-        (pred, flight)
-    }
-
-    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut SystemFlight) {
-        self.tage.fetch_commit(b, outcome, &mut flight.tage);
-        if let Some(ium) = &mut self.ium {
-            let (comp, idx) = flight.tage.provider_entry();
-            flight.ium_seq = ium.push(comp, idx);
-        }
-        if let Some(g) = &mut self.gsc {
-            g.on_branch(outcome);
-        }
-        if let Some(l) = &mut self.lsc {
-            l.spec_update(b.pc, outcome);
-        }
-        if let Some(lp) = &mut self.loop_pred {
-            lp.spec_update(b.pc, outcome);
-        }
-    }
-
-    fn execute(&mut self, _b: &BranchInfo, outcome: bool, flight: &mut SystemFlight) {
-        if let Some(ium) = &mut self.ium {
-            ium.mark_executed(flight.ium_seq, outcome);
-        }
-    }
-
-    fn retire(
-        &mut self,
-        b: &BranchInfo,
-        outcome: bool,
-        predicted: bool,
-        flight: SystemFlight,
-        scenario: UpdateScenario,
-    ) {
-        let mispredicted = predicted != outcome;
-        let reread = scenario.reread_at_retire(mispredicted);
-
-        if let Some(lp) = &mut self.loop_pred {
-            // Allocate for branches the main (TAGE+IUM) prediction missed;
-            // age credit when the loop prediction fixed a miss (§5.2).
-            let allocate = flight.base_pred != outcome;
-            let useful = flight.loop_used
-                && flight.final_pred == outcome
-                && flight.pre_loop_pred != outcome;
-            lp.retire_update(b.pc, outcome, allocate, useful);
-        }
-        if let (Some(g), Some(gf)) = (&mut self.gsc, &flight.gsc) {
-            g.update(gf, outcome, reread, &mut self.side_stats);
-        }
-        if let (Some(l), Some(lf)) = (&mut self.lsc, &flight.lsc) {
-            l.update(lf, outcome, reread || self.lsc_always_reread, &mut self.side_stats);
-        }
-        if let Some(ium) = &mut self.ium {
-            ium.retire_oldest();
-        }
-        self.tage.retire(b, outcome, predicted, flight.tage, scenario);
-    }
-
-    fn note_uncond(&mut self, b: &BranchInfo) {
-        self.tage.note_uncond(b);
-    }
-
-    fn stats(&self) -> AccessStats {
-        let mut s = self.tage.stats();
-        s.merge(&self.side_stats);
-        s
-    }
-
-    fn reset_stats(&mut self) {
-        self.tage.reset_stats();
-        self.side_stats = AccessStats::default();
+        spec
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TageConfig;
+    use crate::corrector::{Gsc, Lsc};
+    use crate::loop_pred::LoopPredictor;
+    use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
 
     /// Functional drive: predict → fetch_commit → execute → retire.
     fn drive<P: Predictor>(p: &mut P, pc: u64, outcome: bool) -> bool {
@@ -515,6 +213,26 @@ mod tests {
     }
 
     #[test]
+    fn builder_order_is_canonicalized() {
+        // The compat builders insert at the canonical chain position
+        // regardless of call order, reproducing the pre-stack semantics
+        // (loop override on top, correctors after the IUM).
+        let a = TageSystem::new(small_cfg())
+            .with_ium(64)
+            .with_loop(LoopPredictor::cbp_64())
+            .with_gsc(Gsc::cbp_24kbit());
+        let b = TageSystem::new(small_cfg())
+            .with_gsc(Gsc::cbp_24kbit())
+            .with_loop(LoopPredictor::cbp_64())
+            .with_ium(64);
+        let kinds: Vec<_> = a.stages().iter().map(|s| s.kind()).collect();
+        assert_eq!(kinds, b.stages().iter().map(|s| s.kind()).collect::<Vec<_>>());
+        assert_eq!(a.name(), b.name());
+        use crate::stack::StageKind;
+        assert_eq!(kinds, vec![StageKind::Ium, StageKind::Gsc, StageKind::Loop]);
+    }
+
+    #[test]
     fn l_tage_is_tage_plus_loop() {
         let l = TageSystem::l_tage();
         let t = TageSystem::reference_tage();
@@ -538,7 +256,7 @@ mod tests {
         // entry; prediction must flip to the executed outcome.
         let (pred2, f2) = with_ium.predict(&b);
         assert_eq!(pred2, !pred1, "IUM must override with the executed outcome");
-        assert_eq!(f2.ium_override, Some(!pred1));
+        assert_eq!(f2.ium_override(), Some(!pred1));
         assert_eq!(with_ium.ium_overrides().unwrap(), 1);
 
         // Control: without the IUM the stale prediction persists.
@@ -670,6 +388,11 @@ mod tests {
         let delta = full.storage_bits() - plain.storage_bits();
         // IUM + loop + GSC + LSC ≈ 2 + 3 + 24 + 31 Kbit.
         assert!(delta < 80 * 1024, "side predictor budget too large: {delta}");
+        // The per-component budget breakdown sums to the whole.
+        let budget = full.budget();
+        assert_eq!(budget.iter().map(|(_, b)| b).sum::<u64>(), full.storage_bits());
+        assert_eq!(budget[0].0, "tage");
+        assert_eq!(budget.len(), 5);
     }
 
     #[test]

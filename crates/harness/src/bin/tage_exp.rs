@@ -3,29 +3,45 @@
 //! ```text
 //! tage_exp <experiment|all> [--scale tiny|small|default|full]
 //!          [--threads N] [--stream] [--list]
+//! tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]
+//! tage_exp budgets
 //! tage_exp trace <file...> [--threads N]
 //! ```
 //!
-//! Suite simulations are scheduled as per-trace jobs on a work-stealing
-//! pool spanning the whole invocation, and duplicate (predictor, scenario)
-//! suites are memoized — `tage_exp all` runs each unique suite exactly
-//! once. Set `TAGE_TRACE_CACHE=<dir>` to persist generated traces across
+//! Experiments are declarative: each is a table of (predictor spec ×
+//! update scenario) rows fed to one generic sweep runner. `tage_exp all`
+//! prefetches every experiment's suites onto the work-stealing pool
+//! before rendering the first table, so independent experiments overlap
+//! (set `TAGE_NO_PREFETCH=1` for the serial baseline); duplicate suites
+//! are memoized by canonical spec string and run exactly once. Set
+//! `TAGE_TRACE_CACHE=<dir>` to persist generated traces across
 //! invocations, or pass `--stream` to skip suite materialization entirely
 //! (each job regenerates its trace lazily; bit-identical results).
+//!
+//! `tage_exp system` simulates *any* user-composed predictor stack over
+//! the suite — including compositions no experiment table covers, e.g.
+//! `tage:x-1+ium+loop` (loop predictor without the SC at a 32 KB
+//! budget). `tage_exp budgets` prints the per-component storage budget of
+//! every named preset next to the paper's figures.
 //!
 //! `tage_exp trace` leaves the synthetic suite behind: it runs the full
 //! predictor matrix over external trace files (`.ttr`, CBP, CSV —
 //! autodetected), grouped into categories by trace metadata or filename
 //! prefix.
 
-use harness::experiments::{run, ALL_EXPERIMENTS};
-use harness::{trace_mode, ExpContext, ExpOptions};
-use workloads::suite::Scale;
+use harness::experiments::{by_id, prefetch, ALL_EXPERIMENTS, EXPERIMENTS};
+use harness::spec::PAPER_BUDGET_BITS;
+use harness::{trace_mode, ExpContext, ExpOptions, PredictorSpec, Table};
+use simkit::{Predictor, UpdateScenario};
+use workloads::suite::{Scale, HARD_TRACES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("trace") {
-        std::process::exit(trace_files_mode(&args[1..]));
+    match args.first().map(String::as_str) {
+        Some("trace") => std::process::exit(trace_files_mode(&args[1..])),
+        Some("system") => std::process::exit(system_mode(&args[1..])),
+        Some("budgets") => std::process::exit(budgets_mode()),
+        _ => {}
     }
     let mut scale = Scale::Default;
     let mut threads: Option<usize> = None;
@@ -53,9 +69,17 @@ fn main() {
             }
             "--stream" => stream = true,
             "--list" => {
-                for id in ALL_EXPERIMENTS {
-                    println!("{id}");
+                // Spec counts and descriptions come straight from the
+                // experiment registry's run tables — nothing hand-kept.
+                let mut t = Table::new("experiments", &["id", "specs", "description"]);
+                for exp in EXPERIMENTS {
+                    t.row(vec![
+                        exp.id.to_string(),
+                        exp.runs().len().to_string(),
+                        exp.description.to_string(),
+                    ]);
                 }
+                t.print();
                 return;
             }
             "--help" | "-h" => {
@@ -79,7 +103,7 @@ fn main() {
     // so `tage_exp all bogus` fails loudly instead of silently passing).
     let mut bad = false;
     for t in &targets {
-        if t != "all" && !ALL_EXPERIMENTS.contains(&t.as_str()) {
+        if t != "all" && by_id(t).is_none() {
             eprintln!("unknown experiment '{t}'");
             bad = true;
         }
@@ -111,11 +135,14 @@ fn main() {
             ctx.threads()
         );
     }
+    // Cross-experiment pipelining: enqueue every experiment's suites
+    // before rendering the first table.
+    prefetch(&ctx, &ids);
     for id in ids {
         let t0 = std::time::Instant::now();
-        // Every id was validated against ALL_EXPERIMENTS above, so the
+        // Every id was validated against the registry above, so the
         // dispatcher cannot miss.
-        run(id, &ctx);
+        harness::experiments::run(id, &ctx);
         println!("# [{id}] done in {:.1}s\n", t0.elapsed().as_secs_f32());
     }
     let s = ctx.scheduler_stats();
@@ -131,17 +158,171 @@ fn main() {
 fn print_usage() {
     println!("usage: tage_exp <experiment|all> [--scale tiny|small|default|full]");
     println!("                [--threads N] [--stream] [--list]");
+    println!("       tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]");
+    println!("       tage_exp budgets");
     println!("       tage_exp trace <file...> [--threads N]");
     println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
     println!("  --stream      regenerate traces inside each job (no suite materialization)");
-    println!("  --list        print the experiment ids and exit");
+    println!("  --list        print the experiment ids, spec counts and descriptions");
+    println!("  system <spec...>  simulate user-composed predictor stacks over the suite,");
+    println!("                    e.g. 'tage:x-1+ium+loop' (see DESIGN.md §2 for the grammar)");
+    println!("  budgets          per-component storage budgets of the named presets");
     println!("  trace <file...>  run the predictor matrix over external trace files");
     println!("                   (.ttr / cbp / csv, format autodetected)");
     println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");
+    println!("  TAGE_NO_PREFETCH=1      disable eager cross-experiment suite prefetch");
     println!("experiments:");
-    for id in ALL_EXPERIMENTS {
-        println!("  {id}");
+    for exp in EXPERIMENTS {
+        println!("  {:<12} {}", exp.id, exp.description);
     }
+}
+
+/// `tage_exp system <spec...>`: simulate arbitrary compositions over the
+/// synthetic suite. Returns the process exit code.
+fn system_mode(args: &[String]) -> i32 {
+    let mut scale = Scale::Default;
+    let mut threads: Option<usize> = None;
+    let mut stream = false;
+    let mut scenario = UpdateScenario::RereadAtRetire;
+    let mut specs: Vec<PredictorSpec> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(v) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale '{v}' (tiny|small|default|full)");
+                        return 2;
+                    }
+                }
+            }
+            "--threads" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => threads = Some(n),
+                    _ => {
+                        eprintln!("--threads expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--stream" => stream = true,
+            "--scenario" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                scenario = match v {
+                    "I" => UpdateScenario::Immediate,
+                    "A" => UpdateScenario::RereadAtRetire,
+                    "B" => UpdateScenario::FetchOnly,
+                    "C" => UpdateScenario::RereadOnMispredict,
+                    _ => {
+                        eprintln!("--scenario expects I, A, B or C (got '{v}')");
+                        return 2;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return 0;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}' for system mode");
+                return 2;
+            }
+            other => match PredictorSpec::parse(other) {
+                Ok(spec) => specs.push(spec),
+                Err(e) => {
+                    eprintln!("bad spec '{other}': {e}");
+                    return 2;
+                }
+            },
+        }
+    }
+    if specs.is_empty() {
+        eprintln!("system mode: no predictor specs given");
+        print_usage();
+        return 2;
+    }
+    let start = std::time::Instant::now();
+    println!("# tage_exp system: scale={scale:?}, scenario {scenario}, {} spec(s)", specs.len());
+    let mut opts = ExpOptions::from_env();
+    opts.threads = threads;
+    opts.stream = stream;
+    let ctx = ExpContext::with_options(scale, opts);
+    for spec in &specs {
+        ctx.prefetch_spec(spec, scenario);
+    }
+    let mut t = Table::new(
+        &format!("SYSTEM MODE — user-composed stacks, scenario {scenario}"),
+        &["spec", "predictor", "Kbit", "MPPKI", "hard-7", "easy-33"],
+    );
+    for spec in &specs {
+        let suite = ctx.run_spec(spec, scenario);
+        let built = spec.build().expect("spec validated at parse");
+        t.row(vec![
+            spec.to_string(),
+            built.name(),
+            (built.storage_bits() / 1024).to_string(),
+            format!("{:.1}", suite.mppki()),
+            format!("{:.1}", suite.mppki_of(&HARD_TRACES)),
+            format!("{:.1}", suite.mppki_excluding(&HARD_TRACES)),
+        ]);
+    }
+    t.print();
+    println!("# system mode done in {:.1}s", start.elapsed().as_secs_f32());
+    0
+}
+
+/// `tage_exp budgets`: per-component storage of every named preset,
+/// audited against the paper's figures. Returns the process exit code.
+fn budgets_mode() -> i32 {
+    let mut t = Table::new(
+        "PRESET BUDGETS — per-component storage (tage::PRESETS)",
+        &["preset", "spec", "component", "bits", "Kbit"],
+    );
+    for (name, spec_str) in tage::PRESETS {
+        let spec = tage::SystemSpec::preset(name).expect("preset table entry");
+        let stack = spec.build().expect("presets build");
+        for (component, bits) in stack.budget() {
+            t.row(vec![
+                name.to_string(),
+                spec_str.to_string(),
+                component.to_string(),
+                bits.to_string(),
+                format!("{:.1}", bits as f64 / 1024.0),
+            ]);
+        }
+        t.row(vec![
+            name.to_string(),
+            spec_str.to_string(),
+            "TOTAL".into(),
+            stack.storage_bits().to_string(),
+            format!("{:.1}", stack.storage_bits() as f64 / 1024.0),
+        ]);
+    }
+    t.print();
+    println!();
+    let mut audit = Table::new(
+        "BUDGET AUDIT — measured vs paper (§3.4, §5, §6.1, §7)",
+        &["preset", "measured bits", "paper bits", "delta"],
+    );
+    for (name, paper_bits) in PAPER_BUDGET_BITS {
+        let stack =
+            tage::SystemSpec::preset(name).expect("audited preset exists").build().unwrap();
+        let measured = stack.storage_bits();
+        let delta = measured as f64 / *paper_bits as f64 - 1.0;
+        audit.row(vec![
+            name.to_string(),
+            measured.to_string(),
+            paper_bits.to_string(),
+            format!("{:+.2}%", delta * 100.0),
+        ]);
+    }
+    audit.print();
+    println!("(every audited preset must land within 1% of the paper figure;");
+    println!(" asserted by the harness `budget_audit` test)");
+    0
 }
 
 /// `tage_exp trace <files...>`: the predictor matrix over external trace
@@ -182,7 +363,7 @@ fn trace_files_mode(args: &[String]) -> i32 {
     println!(
         "# tage_exp trace: {} file(s), predictors: {}",
         files.len(),
-        trace_mode::MATRIX.join(", ")
+        trace_mode::MATRIX.map(|(name, _)| name).join(", ")
     );
     match trace_mode::run_files(&files, &pipeline::PipelineConfig::default(), threads) {
         Ok(results) => {

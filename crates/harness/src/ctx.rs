@@ -14,6 +14,7 @@
 //!   at the price of per-job regeneration — worth it above `Scale::Full`.
 
 use crate::runner::{SchedulerStats, SuiteRunner};
+use crate::spec::PredictorSpec;
 use pipeline::{PipelineConfig, SuiteReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use std::sync::Arc;
@@ -48,6 +49,39 @@ impl ExpOptions {
             stream: false,
         }
     }
+}
+
+/// Expands to a `(label, make-closure)` scheduler call for every
+/// [`PredictorSpec`] arm, so each predictor family keeps its own
+/// monomorphized simulation path (no per-branch flight boxing on the
+/// sweep hot loops).
+macro_rules! dispatch_spec {
+    ($self:ident, $method:ident, $label:expr, $spec:expr, $scenario:expr) => {
+        match $spec {
+            PredictorSpec::Stack(s) => {
+                let s = s.clone();
+                $self.$method($label, move || s.build().expect("spec validated upstream"), $scenario)
+            }
+            PredictorSpec::Gshare { index_bits: None } => {
+                $self.$method($label, baselines::Gshare::cbp_512k, $scenario)
+            }
+            PredictorSpec::Gshare { index_bits: Some(bits) } => {
+                let bits = *bits;
+                $self.$method($label, move || baselines::Gshare::new(bits), $scenario)
+            }
+            PredictorSpec::Gehl520k => $self.$method($label, baselines::Gehl::cbp_520k, $scenario),
+            PredictorSpec::Bimodal { entries, ctr_bits } => {
+                let (entries, ctr_bits) = (*entries, *ctr_bits);
+                $self.$method($label, move || baselines::Bimodal::new(entries, ctr_bits), $scenario)
+            }
+            PredictorSpec::Perceptron { rows, hist } => {
+                let (rows, hist) = (*rows, *hist);
+                $self.$method($label, move || baselines::Perceptron::new(rows, hist), $scenario)
+            }
+            PredictorSpec::Snap512k => $self.$method($label, baselines::Snap::cbp_512k, $scenario),
+            PredictorSpec::Ftl512k => $self.$method($label, baselines::Ftl::cbp_512k, $scenario),
+        }
+    };
 }
 
 /// How the suite is held — see the module docs.
@@ -191,6 +225,52 @@ impl ExpContext {
         }
     }
 
+    /// Like [`ExpContext::run_cached`] but eager: submits the suite's
+    /// jobs to the pool and returns immediately. No-op when the suite is
+    /// already cached or in flight. A later `run_cached`/`run_spec` with
+    /// the same label collects the results.
+    pub fn prefetch_cached<P, F>(&self, label: &str, make: F, scenario: UpdateScenario)
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        match &self.source {
+            SuiteSource::Materialized(ts) => {
+                self.runner.prefetch_suite_cached(label, ts, &self.cfg, make, scenario);
+            }
+            SuiteSource::Streamed(specs) => {
+                self.runner.prefetch_suite_streamed_cached(label, specs, &self.cfg, make, scenario);
+            }
+        }
+    }
+
+    /// Runs a declarative [`PredictorSpec`] over the suite, memoized by
+    /// [`PredictorSpec::sim_key`] — the canonical string minus the
+    /// display-only label — so two rows share a cached suite exactly
+    /// when they simulate the same composition. Stack and baseline arms
+    /// dispatch to monomorphized simulation paths — the boxed
+    /// [`simkit::BranchPredictor`] route is reserved for genuinely
+    /// dynamic callers (trace mode, `tage_exp system`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails to build — validate specs before handing
+    /// them to the scheduler.
+    pub fn run_spec(&self, spec: &PredictorSpec, scenario: UpdateScenario) -> SuiteReport {
+        let label = spec.sim_key();
+        dispatch_spec!(self, run_cached, &label, spec, scenario)
+    }
+
+    /// Eager twin of [`ExpContext::run_spec`]: submit now, collect later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails to build.
+    pub fn prefetch_spec(&self, spec: &PredictorSpec, scenario: UpdateScenario) {
+        let label = spec.sim_key();
+        dispatch_spec!(self, prefetch_cached, &label, spec, scenario)
+    }
+
     /// Scheduler counters (jobs run vs requested, memo hits).
     pub fn scheduler_stats(&self) -> SchedulerStats {
         self.runner.stats()
@@ -287,6 +367,22 @@ mod tests {
         let bc =
             streamed.run_cached("g12", || baselines::Gshare::new(12), UpdateScenario::FetchOnly);
         assert_eq!(ac.reports, bc.reports);
+    }
+
+    #[test]
+    fn run_spec_matches_direct_run_through_prefetch() {
+        let ctx = ExpContext::with_options(
+            Scale::Tiny,
+            ExpOptions { threads: Some(2), ..Default::default() },
+        );
+        let spec = PredictorSpec::parse("tage+ium").unwrap();
+        ctx.prefetch_spec(&spec, UpdateScenario::RereadAtRetire);
+        let via_spec = ctx.run_spec(&spec, UpdateScenario::RereadAtRetire);
+        let direct = ctx.run(tage::TageSystem::tage_ium, UpdateScenario::RereadAtRetire);
+        assert_eq!(via_spec.reports.len(), 40);
+        assert_eq!(via_spec.reports, direct.reports, "spec route must be bit-identical");
+        // The prefetch ran the suite once; the run_spec consumed it.
+        assert_eq!(ctx.scheduler_stats().sim_jobs_run, 80); // spec suite + direct run
     }
 
     #[test]

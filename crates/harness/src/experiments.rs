@@ -1,13 +1,29 @@
-//! One function per paper table/figure. Each prints the paper's values
-//! next to the measured ones; see EXPERIMENTS.md for the recorded runs.
+//! The paper's tables and figures, as *data*: each experiment is an
+//! [`Experiment`] record — an id, a one-line description, a declarative
+//! table of [`Run`]s (predictor spec × update scenario), and a render
+//! function that lays the resolved suite reports out next to the paper's
+//! values. See EXPERIMENTS.md for the recorded runs.
+//!
+//! The run tables are the part that used to be hand-wired code: every
+//! predictor an experiment sweeps is a [`PredictorSpec`] string, resolved
+//! through [`ExpContext::run_spec`] — so the canonical spec string *is*
+//! the scheduler memo label, and two experiments share a cached suite
+//! exactly when they sweep the same composition. `tage_exp all` calls
+//! [`prefetch`] first, which enqueues every experiment's suites onto the
+//! worker pool eagerly (cross-experiment pipelining) before the first
+//! table renders.
+//!
+//! Rendering goes to a `String`, byte-identical to the historical stdout
+//! (pinned by `tests/golden_tables.rs` and the CI golden diff), so the
+//! paper numbers cannot silently drift.
 
 use crate::ctx::ExpContext;
+use crate::spec::PredictorSpec;
 use crate::table::{f1, f2, pct, Table};
-use baselines::{Ftl, Gehl, Gshare, Snap};
-use memarray::CostComparison;
 use pipeline::SuiteReport;
 use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
-use tage::{Lsc, Tage, TageConfig, TageSystem};
+use std::fmt::Write as _;
+use tage::{SystemSpec, Tage};
 use workloads::suite::HARD_TRACES;
 use workloads::EventSource;
 
@@ -31,57 +47,249 @@ pub const ALL_EXPERIMENTS: [&str; 15] = [
     "confidence",
 ];
 
-/// Dispatches one experiment by id. Returns false for unknown ids.
+// The compositions the experiments sweep, as canonical spec strings.
+// These are the same strings `tage_exp system` accepts; the named ones
+// are asserted against `tage::PRESETS` below so the two tables cannot
+// drift apart.
+const REF_TAGE: &str = "tage";
+const GSHARE: &str = "gshare:512k";
+const GEHL: &str = "gehl:520k";
+const TAGE_IUM: &str = "tage+ium";
+const TAGE_IUM_LOOP: &str = "tage+ium+loop";
+const TAGE_IUM_LSC: &str = "tage+ium+lsc";
+const ISL_TAGE: &str = "tage+ium+sc+loop/as=ISL-TAGE";
+const TAGE_LSC: &str = "tage:lsc+ium+lsc/as=TAGE-LSC";
+const FULL_STACK: &str = "tage+ium+sc+lsc+loop";
+const TAGE_LSC_CE: &str = "tage:lsc+ium+lsc:2lht/ilv/as=TAGE-LSC-interleaved";
+const TAGE_LSC_CE_LSCREREAD: &str = "tage:lsc+ium+lsc:2lht/ilv/lsc-reread/as=TAGE-LSC-interleaved";
+const SNAP: &str = "snap:512k";
+const FTL: &str = "ftl:512k";
+
+/// One declarative simulation request: a predictor composition and the
+/// §4.1.2 update scenario to run it under.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// The predictor composition.
+    pub spec: PredictorSpec,
+    /// The update scenario.
+    pub scenario: UpdateScenario,
+}
+
+impl Run {
+    fn new(spec: &str, scenario: UpdateScenario) -> Self {
+        let spec = PredictorSpec::parse(spec)
+            .unwrap_or_else(|e| panic!("experiment table spec '{spec}': {e}"));
+        Self { spec, scenario }
+    }
+}
+
+/// Shorthand for a scenario-[A] run.
+fn a(spec: &str) -> Run {
+    Run::new(spec, UpdateScenario::RereadAtRetire)
+}
+
+/// One paper experiment: id, description, declarative run table, renderer.
+pub struct Experiment {
+    /// The CLI id.
+    pub id: &'static str,
+    /// One-line description (shown by `tage_exp --list`).
+    pub description: &'static str,
+    runs: fn() -> Vec<Run>,
+    render: fn(&ExpContext, &[SuiteReport], &mut String),
+}
+
+impl Experiment {
+    /// The declarative run table (spec × scenario rows).
+    pub fn runs(&self) -> Vec<Run> {
+        (self.runs)()
+    }
+
+    /// Enqueues every run's suite onto the scheduler without waiting.
+    pub fn prefetch(&self, ctx: &ExpContext) {
+        for run in self.runs() {
+            ctx.prefetch_spec(&run.spec, run.scenario);
+        }
+    }
+
+    /// Resolves the run table and renders the experiment's tables.
+    pub fn render(&self, ctx: &ExpContext) -> String {
+        let reports: Vec<SuiteReport> =
+            self.runs().iter().map(|r| ctx.run_spec(&r.spec, r.scenario)).collect();
+        let mut out = String::new();
+        (self.render)(ctx, &reports, &mut out);
+        out
+    }
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<&'static Experiment> {
+    EXPERIMENTS.iter().find(|e| e.id == id)
+}
+
+/// Eagerly enqueues the suites of every listed experiment (deduplicated
+/// by canonical spec label), so independent experiments overlap on the
+/// worker pool instead of running serially. Set `TAGE_NO_PREFETCH=1` to
+/// disable (the serial baseline the EXPERIMENTS.md timing compares
+/// against).
+pub fn prefetch(ctx: &ExpContext, ids: &[&str]) {
+    if std::env::var_os("TAGE_NO_PREFETCH").is_some_and(|v| v == "1") {
+        return;
+    }
+    for id in ids {
+        if let Some(exp) = by_id(id) {
+            exp.prefetch(ctx);
+        }
+    }
+}
+
+/// Dispatches one experiment by id, printing its tables. Returns false
+/// for unknown ids.
 pub fn run(id: &str, ctx: &ExpContext) -> bool {
-    match id {
-        "bench-chars" => e00_bench_chars(ctx),
-        "fig3" => e01_fig3(),
-        "writes" => e02_writes(ctx),
-        "scenarios" => e03_scenarios(ctx),
-        "interleave" => e04_interleave(ctx),
-        "ium" => e05_ium(ctx),
-        "loop" => e06_loop(ctx),
-        "sc" => e07_sc(ctx),
-        "isl" => e08_isl(ctx),
-        "lsc" => e09_lsc(ctx),
-        "ablation" => e10_ablation(ctx),
-        "fig9" => e11_fig9(ctx),
-        "fig10" => e12_fig10(ctx),
-        "cost-eff" => e13_cost_eff(ctx),
-        "confidence" => e14_confidence(ctx),
-        _ => return false,
+    match by_id(id) {
+        Some(exp) => {
+            print!("{}", exp.render(ctx));
+            true
+        }
+        None => false,
     }
-    true
 }
 
-fn tage_512k() -> TageSystem {
-    TageSystem::reference_tage()
+/// The experiment registry, in [`ALL_EXPERIMENTS`] order.
+pub static EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "bench-chars",
+        description: "§2.2 benchmark characterization on the reference TAGE",
+        runs: || vec![a(REF_TAGE)],
+        render: e00_bench_chars,
+    },
+    Experiment {
+        id: "fig3",
+        description: "Figure 3 bimodal delayed-update loop example",
+        runs: Vec::new,
+        render: e01_fig3,
+    },
+    Experiment {
+        id: "writes",
+        description: "§4.1.1 effective writes after silent-update elimination",
+        runs: || vec![a(REF_TAGE), a(GEHL), a(GSHARE)],
+        render: e02_writes,
+    },
+    Experiment {
+        id: "scenarios",
+        description: "§4.1.2 MPPKI under update scenarios [I]/[A]/[B]/[C]",
+        runs: || {
+            [GSHARE, GEHL, REF_TAGE]
+                .iter()
+                .flat_map(|spec| UpdateScenario::ALL.iter().map(|s| Run::new(spec, *s)))
+                .collect()
+        },
+        render: e03_scenarios,
+    },
+    Experiment {
+        id: "interleave",
+        description: "§4.3 bank-interleaved single-ported TAGE",
+        runs: || {
+            vec![
+                Run::new(REF_TAGE, UpdateScenario::RereadOnMispredict),
+                Run::new("tage/ilv", UpdateScenario::RereadOnMispredict),
+            ]
+        },
+        render: e04_interleave,
+    },
+    Experiment {
+        id: "ium",
+        description: "§5.1 Immediate Update Mimicker recovery",
+        runs: || {
+            UpdateScenario::ALL
+                .iter()
+                .flat_map(|s| [Run::new(REF_TAGE, *s), Run::new(TAGE_IUM, *s)])
+                .collect()
+        },
+        render: e05_ium,
+    },
+    Experiment {
+        id: "loop",
+        description: "§5.2 loop predictor on top of TAGE+IUM",
+        runs: || vec![a(TAGE_IUM), a(TAGE_IUM_LOOP)],
+        render: e06_loop,
+    },
+    Experiment {
+        id: "sc",
+        description: "§5.3 global Statistical Corrector (ISL-TAGE)",
+        runs: || vec![a(TAGE_IUM_LOOP), a(ISL_TAGE)],
+        render: e07_sc,
+    },
+    Experiment {
+        id: "isl",
+        description: "§5.4 ISL-TAGE vs scaling the TAGE budget",
+        runs: || vec![a(REF_TAGE), a(ISL_TAGE), a(&scaled_tage_spec(2))],
+        render: e08_isl,
+    },
+    Experiment {
+        id: "lsc",
+        description: "§6.1 TAGE-LSC: local history through the corrector",
+        runs: || vec![a(TAGE_IUM), a(FULL_STACK), a(TAGE_IUM_LSC), a(TAGE_LSC), a(ISL_TAGE)],
+        render: e09_lsc,
+    },
+    Experiment {
+        id: "ablation",
+        description: "§6.2 robustness to history series and table count",
+        runs: || E10_VARIANTS.iter().map(|(_, spec, _)| a(spec)).collect(),
+        render: e10_ablation,
+    },
+    Experiment {
+        id: "fig9",
+        description: "Figure 9 TAGE vs TAGE-LSC across storage budgets",
+        runs: || {
+            (-2i32..=6)
+                .flat_map(|d| [a(&scaled_tage_spec(d)), a(&scaled_tage_lsc_spec(d))])
+                .collect()
+        },
+        render: e11_fig9,
+    },
+    Experiment {
+        id: "fig10",
+        description: "Figure 10/§6.3 the 7 hard traces vs neural contenders",
+        runs: || vec![a(ISL_TAGE), a(TAGE_LSC), a(SNAP), a(FTL)],
+        render: e12_fig10,
+    },
+    Experiment {
+        id: "cost-eff",
+        description: "§7 cost-effective 512 Kbit TAGE-LSC",
+        runs: || {
+            vec![
+                a(TAGE_LSC),
+                a(TAGE_LSC_CE),
+                Run::new(TAGE_LSC_CE_LSCREREAD, UpdateScenario::RereadOnMispredict),
+                Run::new(TAGE_LSC_CE, UpdateScenario::RereadOnMispredict),
+                Run::new(TAGE_LSC_CE, UpdateScenario::FetchOnly),
+            ]
+        },
+        render: e13_cost_eff,
+    },
+    Experiment {
+        id: "confidence",
+        description: "§8 cite [25] storage-free confidence classes",
+        runs: Vec::new,
+        render: e14_confidence,
+    },
+];
+
+/// The Figure 9 scaled plain-TAGE spec (delta 0 canonicalizes onto the
+/// reference spec, sharing its cached suite).
+fn scaled_tage_spec(delta: i32) -> String {
+    SystemSpec::scaled_tage(delta).to_string()
 }
 
-// Memo-cache labels for the predictor configurations shared across
-// experiments. Every `run_cached` label must uniquely identify the
-// configuration: two experiments use the same constant exactly when they
-// construct the identical predictor, which is what lets the scheduler
-// serve the duplicate suite from cache.
-const REF_TAGE: &str = "ref-tage";
-const GSHARE: &str = "gshare-512k";
-const GEHL: &str = "gehl-520k";
-const TAGE_IUM: &str = "tage-ium";
-const TAGE_IUM_LOOP: &str = "tage-ium-loop";
-const ISL_TAGE: &str = "isl-tage";
-const TAGE_LSC: &str = "tage-lsc";
-const TAGE_LSC_CE: &str = "tage-lsc-ce";
+/// The Figure 9 scaled TAGE-LSC spec.
+fn scaled_tage_lsc_spec(delta: i32) -> String {
+    SystemSpec::scaled_tage_lsc(delta).to_string()
+}
 
-/// Label for the Figure 9 scaled plain TAGE. `scaled_tage(0)` is the
-/// reference configuration bit-for-bit (`TageConfig::scaled(0)` is the
-/// identity — asserted by `scaled_zero_is_the_reference_config`), so the
-/// delta-0 sweep point shares the reference label and its cached suite.
-fn scaled_tage_label(delta: i32) -> String {
-    if delta == 0 {
-        REF_TAGE.to_string()
-    } else {
-        format!("scaled-tage:{delta}")
-    }
+/// Storage of a spec string, in bits (run tables are validated at
+/// construction, so this cannot fail for table entries).
+fn spec_bits(spec: &str) -> u64 {
+    PredictorSpec::parse(spec).and_then(|s| s.storage_bits()).expect("experiment table spec")
 }
 
 // ---------------------------------------------------------------------
@@ -90,8 +298,8 @@ fn scaled_tage_label(delta: i32) -> String {
 
 /// §2.2: per-trace misprediction counts on the reference TAGE; the 7 hard
 /// traces should account for roughly ¾ of all mispredictions.
-pub fn e00_bench_chars(ctx: &ExpContext) {
-    let suite = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire);
+fn e00_bench_chars(ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let suite = &reports[0];
     let mut t = Table::new(
         "E00 (§2.2) Benchmark characterization — reference TAGE, scenario [A]",
         &["trace", "hard", "uops", "branches", "static", "mispred", "MPKI", "MPPKI"],
@@ -108,12 +316,14 @@ pub fn e00_bench_chars(ctx: &ExpContext) {
             f1(r.mppki()),
         ]);
     }
-    t.print();
-    println!(
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
         "hard-7 share of mispredictions: {} (paper: ~3/4)",
         pct(suite.mispredict_share(&HARD_TRACES))
     );
-    println!(
+    let _ = writeln!(
+        out,
         "suite MPPKI {} | hard-7 mean {} | easy-33 mean {}",
         f1(suite.mppki()),
         f1(suite.mppki_of(&HARD_TRACES)),
@@ -129,7 +339,7 @@ pub fn e00_bench_chars(ctx: &ExpContext) {
 /// With immediate update it predicts correctly from iteration 3; re-read
 /// at retire adds ~2 iterations per pipeline stage of staleness; using
 /// only fetch-time values doubles the training time again.
-pub fn e01_fig3() {
+fn e01_fig3(_ctx: &ExpContext, _reports: &[SuiteReport], out: &mut String) {
     let first_correct = |scenario: UpdateScenario| -> usize {
         let mut p = baselines::Bimodal::new(64, 2);
         // Drive to strongly not-taken (Figure 3 starts at C=0).
@@ -178,10 +388,10 @@ pub fn e01_fig3() {
         "7".into(),
         first_correct(UpdateScenario::FetchOnly).to_string(),
     ]);
-    t.print();
-    println!("(absolute iteration numbers depend on the exact retire timing;");
-    println!(" the shape — each level of staleness costs extra iterations, [B]");
-    println!(" costing the most — is the Figure 3 claim)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(absolute iteration numbers depend on the exact retire timing;");
+    let _ = writeln!(out, " the shape — each level of staleness costs extra iterations, [B]");
+    let _ = writeln!(out, " costing the most — is the Figure 3 claim)");
 }
 
 // ---------------------------------------------------------------------
@@ -190,11 +400,11 @@ pub fn e01_fig3() {
 
 /// §4.1.1: effective (non-silent) writes per misprediction and per 100
 /// retired branches for TAGE / GEHL / gshare.
-pub fn e02_writes(ctx: &ExpContext) {
-    let rows: Vec<(&str, SuiteReport, f64, f64)> = vec![
-        ("TAGE (ref 64KB)", ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire), 2.17, 9.06),
-        ("GEHL 520Kbit", ctx.run_cached(GEHL, Gehl::cbp_520k, UpdateScenario::RereadAtRetire), 1.94, 9.10),
-        ("gshare 512Kbit", ctx.run_cached(GSHARE, Gshare::cbp_512k, UpdateScenario::RereadAtRetire), 1.54, 9.61),
+fn e02_writes(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let rows: [(&str, &SuiteReport, f64, f64); 3] = [
+        ("TAGE (ref 64KB)", &reports[0], 2.17, 9.06),
+        ("GEHL 520Kbit", &reports[1], 1.94, 9.10),
+        ("gshare 512Kbit", &reports[2], 1.54, 9.61),
     ];
     let mut t = Table::new(
         "E02 (§4.1.1) Effective writes after silent-update elimination, scenario [A]",
@@ -210,8 +420,8 @@ pub fn e02_writes(ctx: &ExpContext) {
             pct(r.silent_fraction()),
         ]);
     }
-    t.print();
-    println!("(paper: silent updates are 'more than 90% in average')");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper: silent updates are 'more than 90% in average')");
 }
 
 // ---------------------------------------------------------------------
@@ -221,7 +431,7 @@ pub fn e02_writes(ctx: &ExpContext) {
 /// §4.1.2: MPPKI under scenarios [I]/[A]/[B]/[C] for gshare, GEHL, TAGE.
 /// The paper's key observation: TAGE barely suffers from skipping the
 /// retire-time read ([B]/[C]), gshare and GEHL suffer badly.
-pub fn e03_scenarios(ctx: &ExpContext) {
+fn e03_scenarios(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
     let paper: [(&str, [f64; 4]); 3] = [
         ("gshare 512Kbit", [944.0, 970.0, 1292.0, 1011.0]),
         ("GEHL 520Kbit", [664.0, 685.0, 801.0, 744.0]),
@@ -232,15 +442,7 @@ pub fn e03_scenarios(ctx: &ExpContext) {
         &["predictor", "[I]", "[A]", "[B]", "[C]", "B/I", "paper B/I", "C/I", "paper C/I"],
     );
     for (i, (name, pvals)) in paper.iter().enumerate() {
-        let mut measured = [0.0f64; 4];
-        for (k, scen) in UpdateScenario::ALL.iter().enumerate() {
-            let r = match i {
-                0 => ctx.run_cached(GSHARE, Gshare::cbp_512k, *scen),
-                1 => ctx.run_cached(GEHL, Gehl::cbp_520k, *scen),
-                _ => ctx.run_cached(REF_TAGE, tage_512k, *scen),
-            };
-            measured[k] = r.mppki();
-        }
+        let measured: Vec<f64> = (0..4).map(|k| reports[i * 4 + k].mppki()).collect();
         t.row(vec![
             name.to_string(),
             f1(measured[0]),
@@ -253,9 +455,9 @@ pub fn e03_scenarios(ctx: &ExpContext) {
             f2(pvals[3] / pvals[0]),
         ]);
     }
-    t.print();
-    println!("(paper MPPKI: gshare 944/970/1292/1011, GEHL 664/685/801/744,");
-    println!(" TAGE 609/617/640/625 — shape: TAGE's relative loss is smallest)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper MPPKI: gshare 944/970/1292/1011, GEHL 664/685/801/744,");
+    let _ = writeln!(out, " TAGE 609/617/640/625 — shape: TAGE's relative loss is smallest)");
 }
 
 // ---------------------------------------------------------------------
@@ -265,13 +467,8 @@ pub fn e03_scenarios(ctx: &ExpContext) {
 /// §4.3: 4-way interleaved single-ported TAGE under scenario [C] loses
 /// almost nothing (627 vs 625 MPPKI) while the CACTI-style model reports
 /// ~3.3× area and ~2× read-energy savings.
-pub fn e04_interleave(ctx: &ExpContext) {
-    let base = ctx.run_cached("tage64-3port", Tage::reference_64kb, UpdateScenario::RereadOnMispredict);
-    let inter = ctx.run_cached(
-        "tage64-interleaved",
-        || Tage::reference_64kb().with_interleaving(),
-        UpdateScenario::RereadOnMispredict,
-    );
+fn e04_interleave(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let (base, inter) = (&reports[0], &reports[1]);
     let mut t = Table::new(
         "E04 (§4.3) Bank-interleaved single-ported TAGE, scenario [C]",
         &["configuration", "MPPKI", "paper", "accesses/branch"],
@@ -288,14 +485,16 @@ pub fn e04_interleave(ctx: &ExpContext) {
         "627".into(),
         f2(inter.accesses_per_branch()),
     ]);
-    t.print();
-    let cost = CostComparison::for_predictor(Tage::reference_64kb().storage_bits());
-    println!(
+    out.push_str(&t.render());
+    let cost = memarray::CostComparison::for_predictor(spec_bits(REF_TAGE));
+    let _ = writeln!(
+        out,
         "area reduction {:.1}x (paper ~3.3x) | read energy reduction {:.1}x (paper ~2x)",
         cost.area_reduction(),
         cost.energy_reduction()
     );
-    println!(
+    let _ = writeln!(
+        out,
         "interleaving loss: {:+.1} MPPKI ({} of baseline; paper: +2 MPPKI)",
         inter.mppki() - base.mppki(),
         pct((inter.mppki() - base.mppki()) / base.mppki())
@@ -308,7 +507,7 @@ pub fn e04_interleave(ctx: &ExpContext) {
 
 /// §5.1: the IUM recovers most of the delayed-update loss:
 /// [A] 617→611 (vs oracle 609), [B] 640→624, [C] 625→614.
-pub fn e05_ium(ctx: &ExpContext) {
+fn e05_ium(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
     let paper = [
         ("[I] oracle", UpdateScenario::Immediate, 609.0, f64::NAN),
         ("[A] reread", UpdateScenario::RereadAtRetire, 617.0, 611.0),
@@ -319,10 +518,10 @@ pub fn e05_ium(ctx: &ExpContext) {
         "E05 (§5.1) Immediate Update Mimicker",
         &["scenario", "TAGE", "paper", "TAGE+IUM", "paper ", "recovered"],
     );
-    let oracle = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::Immediate).mppki();
-    for (name, scen, p_no, p_ium) in paper {
-        let without = ctx.run_cached(REF_TAGE, tage_512k, scen).mppki();
-        let with = ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, scen).mppki();
+    let oracle = reports[0].mppki();
+    for (i, (name, scen, p_no, p_ium)) in paper.into_iter().enumerate() {
+        let without = reports[2 * i].mppki();
+        let with = reports[2 * i + 1].mppki();
         let recovered = if (without - oracle).abs() < 1e-9 {
             "-".to_string()
         } else {
@@ -337,9 +536,9 @@ pub fn e05_ium(ctx: &ExpContext) {
             if scen == UpdateScenario::Immediate { "-".into() } else { recovered },
         ]);
     }
-    t.print();
-    println!("(paper: IUM recovers ~3/4 of the delayed-update loss under [A],");
-    println!(" ~1/2 under [B]; 'recovered' is the fraction of the gap to oracle)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper: IUM recovers ~3/4 of the delayed-update loss under [A],");
+    let _ = writeln!(out, " ~1/2 under [B]; 'recovered' is the fraction of the gap to oracle)");
 }
 
 // ---------------------------------------------------------------------
@@ -348,21 +547,17 @@ pub fn e05_ium(ctx: &ExpContext) {
 
 /// §5.2: TAGE+IUM+loop reaches 593 MPPKI from 611 (≈3 % of the remaining
 /// loss).
-pub fn e06_loop(ctx: &ExpContext) {
-    let base = ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, UpdateScenario::RereadAtRetire);
-    let with = ctx.run_cached(
-        TAGE_IUM_LOOP,
-        || TageSystem::tage_ium().with_loop(tage::LoopPredictor::cbp_64()),
-        UpdateScenario::RereadAtRetire,
-    );
+fn e06_loop(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let (base, with) = (&reports[0], &reports[1]);
     let mut t = Table::new(
         "E06 (§5.2) Loop predictor on top of TAGE+IUM, scenario [A]",
         &["configuration", "MPPKI", "paper"],
     );
     t.row(vec!["TAGE+IUM".into(), f1(base.mppki()), "611".into()]);
     t.row(vec!["TAGE+IUM+loop".into(), f1(with.mppki()), "593".into()]);
-    t.print();
-    println!(
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
         "reduction {} (paper ≈3%)",
         pct((base.mppki() - with.mppki()) / base.mppki())
     );
@@ -373,21 +568,17 @@ pub fn e06_loop(ctx: &ExpContext) {
 // ---------------------------------------------------------------------
 
 /// §5.3: adding the global SC reaches 580 MPPKI from 593 (≈2 % more).
-pub fn e07_sc(ctx: &ExpContext) {
-    let base = ctx.run_cached(
-        TAGE_IUM_LOOP,
-        || TageSystem::tage_ium().with_loop(tage::LoopPredictor::cbp_64()),
-        UpdateScenario::RereadAtRetire,
-    );
-    let with = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
+fn e07_sc(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let (base, with) = (&reports[0], &reports[1]);
     let mut t = Table::new(
         "E07 (§5.3) Statistical Corrector on top of TAGE+IUM+loop, scenario [A]",
         &["configuration", "MPPKI", "paper"],
     );
     t.row(vec!["TAGE+IUM+loop".into(), f1(base.mppki()), "593".into()]);
     t.row(vec!["ISL-TAGE (+SC)".into(), f1(with.mppki()), "580".into()]);
-    t.print();
-    println!(
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
         "reduction {} (paper ≈2%)",
         pct((base.mppki() - with.mppki()) / base.mppki())
     );
@@ -399,33 +590,27 @@ pub fn e07_sc(ctx: &ExpContext) {
 
 /// §5.4: the side predictors buy about what quadrupling the TAGE budget
 /// buys (ISL-TAGE ≈ 6 % fewer mispredictions ≈ a 2 Mbit TAGE).
-pub fn e08_isl(ctx: &ExpContext) {
-    let t512 = ctx.run_cached(REF_TAGE, tage_512k, UpdateScenario::RereadAtRetire);
-    let isl = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
-    let t2m = ctx.run_cached(
-        &scaled_tage_label(2),
-        || TageSystem::scaled_tage(2),
-        UpdateScenario::RereadAtRetire,
-    );
+fn e08_isl(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let (t512, isl, t2m) = (&reports[0], &reports[1], &reports[2]);
     let mut t = Table::new(
         "E08 (§5.4) ISL-TAGE vs scaling the TAGE budget, scenario [A]",
         &["configuration", "storage", "MPPKI", "vs TAGE 512K"],
     );
     let base = t512.mppki();
     for (name, r) in [
-        ("TAGE 512Kbit", &t512),
-        ("ISL-TAGE (512Kbit + sides)", &isl),
-        ("TAGE 2Mbit", &t2m),
+        ("TAGE 512Kbit", t512),
+        ("ISL-TAGE (512Kbit + sides)", isl),
+        ("TAGE 2Mbit", t2m),
     ] {
         t.row(vec![
             name.into(),
-            format!("{}Kbit", TageSystem::reference_tage().storage_bits() / 1024 * if name.contains("2M") { 4 } else { 1 }),
+            format!("{}Kbit", spec_bits(REF_TAGE) / 1024 * if name.contains("2M") { 4 } else { 1 }),
             f1(r.mppki()),
             pct((base - r.mppki()) / base),
         ]);
     }
-    t.print();
-    println!("(paper: ISL-TAGE cuts ~6% — about what scaling TAGE to 2 Mbit buys)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper: ISL-TAGE cuts ~6% — about what scaling TAGE to 2 Mbit buys)");
 }
 
 // ---------------------------------------------------------------------
@@ -435,89 +620,58 @@ pub fn e08_isl(ctx: &ExpContext) {
 /// §6.1: the local-history statistical corrector dwarfs the loop
 /// predictor and the global SC: full stack 555, LSC alone on TAGE+IUM
 /// 559, 512 Kbit TAGE-LSC 562 vs ISL-TAGE 581.
-pub fn e09_lsc(ctx: &ExpContext) {
-    let rows: Vec<(&str, SuiteReport, &str)> = vec![
-        ("TAGE+IUM", ctx.run_cached(TAGE_IUM, TageSystem::tage_ium, UpdateScenario::RereadAtRetire), "611"),
-        (
-            "TAGE+IUM+loop+SC+LSC (full)",
-            ctx.run_cached("full-stack", TageSystem::full_stack, UpdateScenario::RereadAtRetire),
-            "555",
-        ),
-        (
-            "TAGE+IUM+LSC (LSC alone)",
-            ctx.run_cached(
-                "tage-ium-lsc",
-                || TageSystem::tage_ium().with_lsc(Lsc::cbp_30kbit()),
-                UpdateScenario::RereadAtRetire,
-            ),
-            "559",
-        ),
-        (
-            "TAGE-LSC (512Kbit budget)",
-            ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
-            "562",
-        ),
-        ("ISL-TAGE (same budget)", ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire), "581"),
+fn e09_lsc(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let rows: [(&str, &SuiteReport, &str, &str); 5] = [
+        ("TAGE+IUM", &reports[0], "611", TAGE_IUM),
+        ("TAGE+IUM+loop+SC+LSC (full)", &reports[1], "555", FULL_STACK),
+        ("TAGE+IUM+LSC (LSC alone)", &reports[2], "559", TAGE_IUM_LSC),
+        ("TAGE-LSC (512Kbit budget)", &reports[3], "562", TAGE_LSC),
+        ("ISL-TAGE (same budget)", &reports[4], "581", ISL_TAGE),
     ];
     let mut t = Table::new(
         "E09 (§6.1) TAGE-LSC: local history through the statistical corrector",
         &["configuration", "storage Kbit", "MPPKI", "paper"],
     );
-    let mk = |name: &str| -> u64 {
-        match name {
-            n if n.contains("full") => TageSystem::full_stack().storage_bits(),
-            n if n.contains("LSC alone") => {
-                TageSystem::tage_ium().with_lsc(Lsc::cbp_30kbit()).storage_bits()
-            }
-            n if n.contains("512Kbit budget") => TageSystem::tage_lsc().storage_bits(),
-            n if n.contains("ISL") => TageSystem::isl_tage().storage_bits(),
-            _ => TageSystem::tage_ium().storage_bits(),
-        }
-    };
-    for (name, r, paper) in &rows {
+    for (name, r, paper, spec) in &rows {
         t.row(vec![
             name.to_string(),
-            (mk(name) / 1024).to_string(),
+            (spec_bits(spec) / 1024).to_string(),
             f1(r.mppki()),
             paper.to_string(),
         ]);
     }
-    t.print();
-    println!("(paper shape: LSC alone captures most of what loop+SC capture,");
-    println!(" and TAGE-LSC beats ISL-TAGE at the same storage budget)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper shape: LSC alone captures most of what loop+SC capture,");
+    let _ = writeln!(out, " and TAGE-LSC beats ISL-TAGE at the same storage budget)");
 }
 
 // ---------------------------------------------------------------------
 // E10 — §6.2 robustness ablations
 // ---------------------------------------------------------------------
 
+/// The §6.2 ablation variants: (row label, spec, paper MPPKI).
+const E10_VARIANTS: [(&str, &str, &str); 6] = [
+    ("(6,2000) 13-comp [ref]", "tage:lsc+ium+lsc", "562"),
+    ("(3,300) 13-comp", "tage:lsc:h3,300+ium+lsc", "575"),
+    ("(4,1000) 13-comp", "tage:lsc:h4,1000+ium+lsc", "563"),
+    ("(8,5000) 13-comp", "tage:lsc:h8,5000+ium+lsc", "563"),
+    ("(6,1000) 9-comp", "tage:b8,6,1000+ium+lsc", "566"),
+    ("(6,500) 6-comp", "tage:b5,6,500+ium+lsc", "583"),
+];
+
 /// §6.2: TAGE-LSC is robust to the history series and the table count.
-pub fn e10_ablation(ctx: &ExpContext) {
-    let variants: Vec<(&str, TageConfig, &str)> = vec![
-        ("(6,2000) 13-comp [ref]", TageConfig::tage_lsc_core(), "562"),
-        ("(3,300) 13-comp", TageConfig::tage_lsc_core().with_history(3, 300), "575"),
-        ("(4,1000) 13-comp", TageConfig::tage_lsc_core().with_history(4, 1000), "563"),
-        ("(8,5000) 13-comp", TageConfig::tage_lsc_core().with_history(8, 5000), "563"),
-        ("(6,1000) 9-comp", TageConfig::balanced(8, 6, 1000), "566"),
-        ("(6,500) 6-comp", TageConfig::balanced(5, 6, 500), "583"),
-    ];
+fn e10_ablation(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
     let mut t = Table::new(
         "E10 (§6.2) TAGE-LSC robustness to history series and table count",
         &["configuration", "storage Kbit", "MPPKI", "paper"],
     );
-    for (name, cfg, paper) in variants {
-        let make = move || {
-            TageSystem::new(cfg.clone())
-                .with_ium(tage::system::DEFAULT_IUM_CAPACITY)
-                .with_lsc(Lsc::cbp_30kbit())
-        };
-        let storage = make().storage_bits() / 1024;
-        let r = ctx.run_cached(&format!("ablation:{name}"), make, UpdateScenario::RereadAtRetire);
-        t.row(vec![name.into(), storage.to_string(), f1(r.mppki()), paper.into()]);
+    for ((name, spec, paper), r) in E10_VARIANTS.iter().zip(reports) {
+        let storage = spec_bits(spec) / 1024;
+        t.row(vec![(*name).into(), storage.to_string(), f1(r.mppki()), (*paper).into()]);
     }
-    t.print();
-    println!("(paper shape: mild degradation for (3,300) and the 6-component");
-    println!(" configuration; near-parity for the others)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper shape: mild degradation for (3,300) and the 6-component");
+    let _ = writeln!(out, " configuration; near-parity for the others)");
 }
 
 // ---------------------------------------------------------------------
@@ -527,23 +681,15 @@ pub fn e10_ablation(ctx: &ExpContext) {
 /// Figure 9: MPPKI of TAGE and TAGE-LSC from 128 Kbit to 32 Mbit.
 /// TAGE-LSC should track a 4–8× larger TAGE in the 128K–512K range, and
 /// CLIENT02 should fall off a cliff in the 2–8 Mbit region.
-pub fn e11_fig9(ctx: &ExpContext) {
+fn e11_fig9(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
     let mut t = Table::new(
         "E11 (Fig. 9) TAGE vs TAGE-LSC across storage budgets, scenario [A]",
         &["budget", "TAGE Kbit", "TAGE MPPKI", "TAGE-LSC Kbit", "TAGE-LSC MPPKI", "CLIENT02 (LSC)"],
     );
     let labels = ["128K", "256K", "512K", "1M", "2M", "4M", "8M", "16M", "32M"];
     for (i, delta) in (-2i32..=6).enumerate() {
-        let tage_r = ctx.run_cached(
-            &scaled_tage_label(delta),
-            move || TageSystem::scaled_tage(delta),
-            UpdateScenario::RereadAtRetire,
-        );
-        let lsc_r = ctx.run_cached(
-            &format!("scaled-tage-lsc:{delta}"),
-            move || TageSystem::scaled_tage_lsc(delta),
-            UpdateScenario::RereadAtRetire,
-        );
+        let tage_r = &reports[2 * i];
+        let lsc_r = &reports[2 * i + 1];
         let client02 = lsc_r
             .reports
             .iter()
@@ -552,17 +698,17 @@ pub fn e11_fig9(ctx: &ExpContext) {
             .unwrap_or_default();
         t.row(vec![
             labels[i].into(),
-            (TageSystem::scaled_tage(delta).storage_bits() / 1024).to_string(),
+            (spec_bits(&scaled_tage_spec(delta)) / 1024).to_string(),
             f1(tage_r.mppki()),
-            (TageSystem::scaled_tage_lsc(delta).storage_bits() / 1024).to_string(),
+            (spec_bits(&scaled_tage_lsc_spec(delta)) / 1024).to_string(),
             f1(lsc_r.mppki()),
             client02,
         ]);
     }
-    t.print();
-    println!("(paper shape: both curves fall monotonically and plateau at");
-    println!(" 16-32Mbit; TAGE-LSC ≈ a 4-8x larger TAGE at 128K-512K;");
-    println!(" CLIENT02 collapses in the multi-megabit range)");
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(paper shape: both curves fall monotonically and plateau at");
+    let _ = writeln!(out, " 16-32Mbit; TAGE-LSC ≈ a 4-8x larger TAGE at 128K-512K;");
+    let _ = writeln!(out, " CLIENT02 collapses in the multi-megabit range)");
 }
 
 // ---------------------------------------------------------------------
@@ -572,11 +718,8 @@ pub fn e11_fig9(ctx: &ExpContext) {
 /// Figure 10 + §6.3: per-trace MPPKI on the 7 hardest traces for
 /// ISL-TAGE / TAGE-LSC / OH-SNAP-style / FTL++-style predictors, plus the
 /// easy-33 and hard-7 group means.
-pub fn e12_fig10(ctx: &ExpContext) {
-    let isl = ctx.run_cached(ISL_TAGE, TageSystem::isl_tage, UpdateScenario::RereadAtRetire);
-    let lsc = ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire);
-    let snap = ctx.run_cached("snap-512k", Snap::cbp_512k, UpdateScenario::RereadAtRetire);
-    let ftl = ctx.run_cached("ftl-512k", Ftl::cbp_512k, UpdateScenario::RereadAtRetire);
+fn e12_fig10(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let (isl, lsc, snap, ftl) = (&reports[0], &reports[1], &reports[2], &reports[3]);
     let mut t = Table::new(
         "E12 (Fig. 10) The 7 least predictable traces, MPPKI",
         &["trace", "ISL-TAGE", "TAGE-LSC", "OH-SNAP*", "FTL++*"],
@@ -585,9 +728,9 @@ pub fn e12_fig10(ctx: &ExpContext) {
         let get = |s: &SuiteReport| {
             s.reports.iter().find(|r| r.trace == name).map(|r| f1(r.mppki())).unwrap_or_default()
         };
-        t.row(vec![name.into(), get(&isl), get(&lsc), get(&snap), get(&ftl)]);
+        t.row(vec![name.into(), get(isl), get(lsc), get(snap), get(ftl)]);
     }
-    t.print();
+    out.push_str(&t.render());
     let mut g = Table::new(
         "E12 (§6.3) Group means",
         &["group", "ISL-TAGE", "paper", "TAGE-LSC", "paper ", "OH-SNAP*", "paper  ", "FTL++*", "paper   "],
@@ -614,10 +757,48 @@ pub fn e12_fig10(ctx: &ExpContext) {
         f1(ftl.mppki_of(&HARD_TRACES)),
         "2222".into(),
     ]);
-    g.print();
-    println!("(*simplified stand-ins, see DESIGN.md §1. Paper shape: the TAGE");
-    println!(" family wins clearly on the easy 33; the neural predictors edge");
-    println!(" ahead on the hard 7)");
+    out.push_str(&g.render());
+    let _ = writeln!(out, "(*simplified stand-ins, see DESIGN.md §1. Paper shape: the TAGE");
+    let _ = writeln!(out, " family wins clearly on the easy 33; the neural predictors edge");
+    let _ = writeln!(out, " ahead on the hard 7)");
+}
+
+// ---------------------------------------------------------------------
+// E13 — §7 cost-effective TAGE-LSC
+// ---------------------------------------------------------------------
+
+/// §7: the cost-effective 512 Kbit TAGE-LSC — 4-way interleaved
+/// single-ported tables (569), plus no-retire-read-on-correct (575);
+/// TAGE-components-only elimination loses only ~2 MPPKI; full scenario
+/// [B] (599) is rejected.
+fn e13_cost_eff(_ctx: &ExpContext, reports: &[SuiteReport], out: &mut String) {
+    let rows: [(&str, &SuiteReport, &str); 5] = [
+        ("TAGE-LSC, 3-port, [A]", &reports[0], "562"),
+        ("+4-way interleaved, [A]", &reports[1], "569"),
+        ("+no reread on correct, TAGE only ([C], LSC rereads)", &reports[2], "571"),
+        ("+no reread on correct, all components [C]", &reports[3], "575"),
+        ("fetch-only values everywhere [B] (rejected)", &reports[4], "599"),
+    ];
+    let mut t = Table::new(
+        "E13 (§7) Cost-effective 512Kbit TAGE-LSC",
+        &["configuration", "MPPKI", "paper", "accesses/branch"],
+    );
+    for (name, r, paper) in &rows {
+        t.row(vec![
+            name.to_string(),
+            f1(r.mppki()),
+            paper.to_string(),
+            f2(r.accesses_per_branch()),
+        ]);
+    }
+    out.push_str(&t.render());
+    let cost = memarray::CostComparison::for_predictor(spec_bits(TAGE_LSC));
+    let _ = writeln!(
+        out,
+        "area reduction {:.1}x (paper ~3.3x) | read energy reduction {:.1}x (paper ~2x)",
+        cost.area_reduction(),
+        cost.energy_reduction()
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -629,7 +810,7 @@ pub fn e12_fig10(ctx: &ExpContext) {
 /// "simple and storage free". Classify every reference-TAGE prediction by
 /// its providing counter strength and report accuracy per class over the
 /// whole suite.
-pub fn e14_confidence(ctx: &ExpContext) {
+fn e14_confidence(ctx: &ExpContext, _reports: &[SuiteReport], out: &mut String) {
     use tage::confidence::{classify, Confidence, ConfidenceStats};
     let mut stats = ConfidenceStats::default();
     for i in 0..ctx.trace_count() {
@@ -659,95 +840,68 @@ pub fn e14_confidence(ctx: &ExpContext) {
             pct(stats.accuracy(c).unwrap_or(f64::NAN)),
         ]);
     }
-    t.print();
-    println!("(HPCA-2011 shape: accuracy strictly ordered High > Medium > Low,");
-    println!(" with High covering the bulk of predictions — the provider");
-    println!(" counter value is a free confidence signal)");
-}
-
-// ---------------------------------------------------------------------
-// E13 — §7 cost-effective TAGE-LSC
-// ---------------------------------------------------------------------
-
-/// §7: the cost-effective 512 Kbit TAGE-LSC — 4-way interleaved
-/// single-ported tables (569), plus no-retire-read-on-correct (575);
-/// TAGE-components-only elimination loses only ~2 MPPKI; full scenario
-/// [B] (599) is rejected.
-pub fn e13_cost_eff(ctx: &ExpContext) {
-    let rows: Vec<(&str, SuiteReport, &str)> = vec![
-        (
-            "TAGE-LSC, 3-port, [A]",
-            ctx.run_cached(TAGE_LSC, TageSystem::tage_lsc, UpdateScenario::RereadAtRetire),
-            "562",
-        ),
-        (
-            "+4-way interleaved, [A]",
-            ctx.run_cached(
-                TAGE_LSC_CE,
-                TageSystem::tage_lsc_cost_effective,
-                UpdateScenario::RereadAtRetire,
-            ),
-            "569",
-        ),
-        (
-            "+no reread on correct, TAGE only ([C], LSC rereads)",
-            ctx.run_cached(
-                "tage-lsc-ce-lscreread",
-                || TageSystem::tage_lsc_cost_effective().lsc_always_reread(),
-                UpdateScenario::RereadOnMispredict,
-            ),
-            "571",
-        ),
-        (
-            "+no reread on correct, all components [C]",
-            ctx.run_cached(
-                TAGE_LSC_CE,
-                TageSystem::tage_lsc_cost_effective,
-                UpdateScenario::RereadOnMispredict,
-            ),
-            "575",
-        ),
-        (
-            "fetch-only values everywhere [B] (rejected)",
-            ctx.run_cached(
-                TAGE_LSC_CE,
-                TageSystem::tage_lsc_cost_effective,
-                UpdateScenario::FetchOnly,
-            ),
-            "599",
-        ),
-    ];
-    let mut t = Table::new(
-        "E13 (§7) Cost-effective 512Kbit TAGE-LSC",
-        &["configuration", "MPPKI", "paper", "accesses/branch"],
-    );
-    for (name, r, paper) in &rows {
-        t.row(vec![
-            name.to_string(),
-            f1(r.mppki()),
-            paper.to_string(),
-            f2(r.accesses_per_branch()),
-        ]);
-    }
-    t.print();
-    let cost = CostComparison::for_predictor(TageSystem::tage_lsc().storage_bits());
-    println!(
-        "area reduction {:.1}x (paper ~3.3x) | read energy reduction {:.1}x (paper ~2x)",
-        cost.area_reduction(),
-        cost.energy_reduction()
-    );
+    out.push_str(&t.render());
+    let _ = writeln!(out, "(HPCA-2011 shape: accuracy strictly ordered High > Medium > Low,");
+    let _ = writeln!(out, " with High covering the bulk of predictions — the provider");
+    let _ = writeln!(out, " counter value is a free confidence signal)");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipeline::{simulate, PipelineConfig};
+    use tage::TageSystem;
     use workloads::suite::{by_name, Scale};
 
-    /// Guards the `scaled_tage_label(0) == REF_TAGE` memo aliasing: the
-    /// delta-0 Figure 9 point must be the reference TAGE bit-for-bit.
+    /// The registry stays in sync with the id list.
+    #[test]
+    fn registry_matches_id_list() {
+        assert_eq!(EXPERIMENTS.len(), ALL_EXPERIMENTS.len());
+        for (exp, id) in EXPERIMENTS.iter().zip(ALL_EXPERIMENTS) {
+            assert_eq!(exp.id, id);
+            assert!(!exp.description.is_empty());
+        }
+    }
+
+    /// Every run-table spec parses, validates, and round-trips through
+    /// its canonical form (the memo label).
+    #[test]
+    fn run_tables_are_valid_specs() {
+        for exp in EXPERIMENTS {
+            for run in exp.runs() {
+                let canonical = run.spec.to_string();
+                let reparsed = PredictorSpec::parse(&canonical)
+                    .unwrap_or_else(|e| panic!("{}: '{canonical}': {e}", exp.id));
+                assert_eq!(run.spec, reparsed, "{}: spec did not round-trip", exp.id);
+            }
+        }
+    }
+
+    /// The named spec-string constants match the core preset table, so
+    /// the experiment tables and `tage::PRESETS` cannot drift apart.
+    #[test]
+    fn experiment_specs_match_core_presets() {
+        for (preset, constant) in [
+            ("tage", REF_TAGE),
+            ("tage-ium", TAGE_IUM),
+            ("isl-tage", ISL_TAGE),
+            ("tage-lsc", TAGE_LSC),
+            ("full-stack", FULL_STACK),
+            ("tage-lsc-ce", TAGE_LSC_CE),
+        ] {
+            assert_eq!(
+                SystemSpec::preset(preset).unwrap().to_string(),
+                constant,
+                "preset '{preset}' drifted from the experiment tables"
+            );
+        }
+    }
+
+    /// Guards the delta-0 memo aliasing: the delta-0 Figure 9 point must
+    /// be the reference TAGE bit-for-bit (and share its spec label).
     #[test]
     fn scaled_zero_is_the_reference_config() {
+        assert_eq!(scaled_tage_spec(0), REF_TAGE);
         let scaled = TageSystem::scaled_tage(0);
         let reference = TageSystem::reference_tage();
         assert_eq!(scaled.storage_bits(), reference.storage_bits());

@@ -10,9 +10,11 @@
 pub mod ctx;
 pub mod experiments;
 pub mod runner;
+pub mod spec;
 pub mod table;
 pub mod trace_mode;
 
 pub use ctx::{ExpContext, ExpOptions};
 pub use runner::{SchedulerStats, SuiteRunner, WorkerPool};
+pub use spec::PredictorSpec;
 pub use table::Table;

@@ -13,9 +13,16 @@
 //!   3× longer than the rest) never leaves the other cores idle;
 //! * suite results are memoized by `(label, scenario, pipeline-config)`,
 //!   so duplicate requests are served from cache and counted — the
-//!   [`SchedulerStats`] counters make the dedup observable (and testable).
+//!   [`SchedulerStats`] counters make the dedup observable (and testable);
+//! * suites can be **prefetched**: `tage_exp all` enqueues every
+//!   experiment's suite jobs eagerly before rendering the first table, so
+//!   independent experiments' single-suite tails overlap on many-core
+//!   machines instead of running serially (the ROADMAP "scheduler-level
+//!   cross-experiment pipelining" item). A prefetched suite parks its
+//!   in-flight [`Batch`] in a pending map; the first consumer waits on it
+//!   and promotes the result into the memo cache.
 
-use pipeline::{simulate, simulate_source, PipelineConfig, SuiteReport};
+use pipeline::{simulate, simulate_source, PipelineConfig, SimReport, SuiteReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -212,6 +219,9 @@ type SuiteKey = (String, UpdateScenario, u64);
 pub struct SuiteRunner {
     pool: WorkerPool,
     cache: Mutex<HashMap<SuiteKey, SuiteReport>>,
+    /// Prefetched suites still in flight: submitted to the pool, not yet
+    /// consumed into the memo cache.
+    pending: Mutex<HashMap<SuiteKey, Arc<Batch<SimReport>>>>,
     sim_jobs_run: AtomicU64,
     sim_jobs_requested: AtomicU64,
     suite_memo_hits: AtomicU64,
@@ -226,6 +236,7 @@ impl SuiteRunner {
         Self {
             pool: WorkerPool::new(threads),
             cache: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
             sim_jobs_run: AtomicU64::new(0),
             sim_jobs_requested: AtomicU64::new(0),
             suite_memo_hits: AtomicU64::new(0),
@@ -246,16 +257,15 @@ impl SuiteRunner {
         }
     }
 
-    /// Simulates a fresh `make()` predictor over every trace, one pool job
-    /// per trace, returning reports in suite order. Never consults the
-    /// memo cache.
-    pub fn run_suite<P, F>(
+    /// Submits one simulate job per trace and returns the in-flight batch
+    /// without waiting.
+    fn submit_suite<P, F>(
         &self,
         traces: &Arc<Vec<Trace>>,
         cfg: &PipelineConfig,
         make: F,
         scenario: UpdateScenario,
-    ) -> SuiteReport
+    ) -> Arc<Batch<SimReport>>
     where
         P: Predictor + Send + 'static,
         F: Fn() -> P + Send + Sync + 'static,
@@ -274,7 +284,24 @@ impl SuiteRunner {
                 batch.run(i, || simulate(&mut make(), &traces[i], scenario, &cfg));
             }));
         }
-        SuiteReport::new(batch.wait())
+        batch
+    }
+
+    /// Simulates a fresh `make()` predictor over every trace, one pool job
+    /// per trace, returning reports in suite order. Never consults the
+    /// memo cache.
+    pub fn run_suite<P, F>(
+        &self,
+        traces: &Arc<Vec<Trace>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        SuiteReport::new(self.submit_suite(traces, cfg, make, scenario).wait())
     }
 
     /// Streaming twin of [`SuiteRunner::run_suite`]: each pool job
@@ -290,6 +317,21 @@ impl SuiteRunner {
         make: F,
         scenario: UpdateScenario,
     ) -> SuiteReport
+    where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        SuiteReport::new(self.submit_suite_streamed(specs, cfg, make, scenario).wait())
+    }
+
+    /// Streaming twin of [`SuiteRunner::submit_suite`].
+    fn submit_suite_streamed<P, F>(
+        &self,
+        specs: &Arc<Vec<TraceSpec>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) -> Arc<Batch<SimReport>>
     where
         P: Predictor + Send + 'static,
         F: Fn() -> P + Send + Sync + 'static,
@@ -310,7 +352,7 @@ impl SuiteRunner {
                 });
             }));
         }
-        SuiteReport::new(batch.wait())
+        batch
     }
 
     /// Memoizes `compute` by `(label, scenario, config)`: the first
@@ -337,9 +379,73 @@ impl SuiteRunner {
             self.sim_jobs_requested.fetch_add(n_jobs as u64, Ordering::Relaxed);
             return hit.clone();
         }
-        let report = compute();
+        // A prefetched suite already runs (and was counted) on the pool:
+        // wait for it and promote it into the memo cache. The jobs were
+        // requested when the prefetch submitted them, so nothing is
+        // double-counted here.
+        let prefetched = self.pending.lock().unwrap().remove(&key);
+        let report = match prefetched {
+            Some(batch) => SuiteReport::new(batch.wait()),
+            None => compute(),
+        };
         self.cache.lock().unwrap().insert(key, report.clone());
         report
+    }
+
+    /// Eagerly submits a suite's jobs without waiting for the results.
+    /// No-op when the suite is already cached or already in flight; the
+    /// first later `run_suite_*_cached` call with the same key consumes
+    /// the in-flight batch. This is what lets `tage_exp all` overlap
+    /// independent experiments' suites on the pool.
+    fn prefetch_with(
+        &self,
+        label: &str,
+        scenario: UpdateScenario,
+        cfg: &PipelineConfig,
+        submit: impl FnOnce() -> Arc<Batch<SimReport>>,
+    ) {
+        let key = (label.to_string(), scenario, cfg.fingerprint());
+        if self.cache.lock().unwrap().contains_key(&key) {
+            return;
+        }
+        let mut pending = self.pending.lock().unwrap();
+        if pending.contains_key(&key) {
+            return;
+        }
+        pending.insert(key, submit());
+    }
+
+    /// [`SuiteRunner::run_suite_cached`]'s eager half: submit now, let a
+    /// later call collect.
+    pub fn prefetch_suite_cached<P, F>(
+        &self,
+        label: &str,
+        traces: &Arc<Vec<Trace>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.prefetch_with(label, scenario, cfg, || self.submit_suite(traces, cfg, make, scenario));
+    }
+
+    /// [`SuiteRunner::run_suite_streamed_cached`]'s eager half.
+    pub fn prefetch_suite_streamed_cached<P, F>(
+        &self,
+        label: &str,
+        specs: &Arc<Vec<TraceSpec>>,
+        cfg: &PipelineConfig,
+        make: F,
+        scenario: UpdateScenario,
+    ) where
+        P: Predictor + Send + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.prefetch_with(label, scenario, cfg, || {
+            self.submit_suite_streamed(specs, cfg, make, scenario)
+        });
     }
 
     /// [`SuiteRunner::run_suite`] through the memo cache.
@@ -520,6 +626,46 @@ mod tests {
         assert_eq!(s.sim_jobs_run, 40);
         assert_eq!(s.sim_jobs_requested, 80);
         assert_eq!(s.suite_memo_hits, 1);
+    }
+
+    #[test]
+    fn prefetched_suite_is_consumed_not_recomputed() {
+        let runner = SuiteRunner::new(Some(2));
+        let traces = tiny_traces();
+        let cfg = PipelineConfig::default();
+        let make = || baselines::Gshare::new(11);
+        runner.prefetch_suite_cached("g11", &traces, &cfg, make, UpdateScenario::FetchOnly);
+        // A duplicate prefetch of an in-flight suite is a no-op.
+        runner.prefetch_suite_cached("g11", &traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(runner.stats().sim_jobs_run, 40, "prefetch submits exactly once");
+        // The first cached request consumes the in-flight batch.
+        let a = runner.run_suite_cached("g11", &traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(runner.stats().sim_jobs_run, 40, "consume must not re-simulate");
+        assert_eq!(runner.stats().suite_memo_hits, 0);
+        // The second hits the promoted memo entry.
+        let b = runner.run_suite_cached("g11", &traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(runner.stats().suite_memo_hits, 1);
+        assert_eq!(a.reports, b.reports);
+        // Prefetching an already-cached suite is a no-op too.
+        runner.prefetch_suite_cached("g11", &traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(runner.stats().sim_jobs_run, 40);
+        // And the result is bit-identical to an uncached direct run.
+        let direct = runner.run_suite(&traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(a.reports, direct.reports);
+    }
+
+    #[test]
+    fn streamed_prefetch_matches_materialized() {
+        let runner = SuiteRunner::new(Some(2));
+        let specs = Arc::new(workloads::suite::suite(Scale::Tiny));
+        let traces = tiny_traces();
+        let cfg = PipelineConfig::default();
+        let make = || baselines::Gshare::new(12);
+        runner.prefetch_suite_streamed_cached("g12s", &specs, &cfg, make, UpdateScenario::FetchOnly);
+        let streamed =
+            runner.run_suite_streamed_cached("g12s", &specs, &cfg, make, UpdateScenario::FetchOnly);
+        let materialized = runner.run_suite(&traces, &cfg, make, UpdateScenario::FetchOnly);
+        assert_eq!(streamed.reports, materialized.reports);
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! `tage_trace record` → `tage_exp trace` to the direct run, report for
 //! report.
 
+use crate::spec::PredictorSpec;
 use crate::table::{f1, Table};
 use pipeline::{simulate_source, PipelineConfig, SuiteReport};
 use simkit::predictor::UpdateScenario;
@@ -23,9 +24,20 @@ use traces::{CodecRegistry, TraceCodec, TraceDecoder};
 use workloads::event::{EventSource, Trace, TraceEvent};
 use workloads::TraceSpec;
 
-/// Display names of the predictor matrix, in table-column order.
-pub const MATRIX: [&str; 6] =
-    ["gshare-512K", "GEHL-520K", "TAGE (ref)", "TAGE+IUM", "ISL-TAGE", "TAGE-LSC"];
+/// The predictor matrix as `(display name, spec)` pairs, in table-column
+/// order. Each cell builds its predictor through the declarative
+/// [`PredictorSpec`] registry behind the object-safe
+/// [`simkit::BranchPredictor`] — this is the genuinely dynamic path (the
+/// suite experiments keep monomorphized dispatch; see
+/// [`crate::ctx::ExpContext::run_spec`]).
+pub const MATRIX: [(&str, &str); 6] = [
+    ("gshare-512K", "gshare:512k"),
+    ("GEHL-520K", "gehl:520k"),
+    ("TAGE (ref)", "tage"),
+    ("TAGE+IUM", "tage+ium"),
+    ("ISL-TAGE", "tage+ium+sc+loop/as=ISL-TAGE"),
+    ("TAGE-LSC", "tage:lsc+ium+lsc/as=TAGE-LSC"),
+];
 
 /// Update scenario the matrix runs under (the paper's default, [A]).
 pub const MATRIX_SCENARIO: UpdateScenario = UpdateScenario::RereadAtRetire;
@@ -54,21 +66,16 @@ impl TraceDecoder for SpecSource {
     }
 }
 
-/// One matrix cell: a fresh predictor (by [`MATRIX`] index) streamed over
-/// one source, with a post-run decode-integrity check.
+/// One matrix cell: a fresh spec-built predictor streamed over one
+/// source (through the boxed [`simkit::BranchPredictor`] route), with a
+/// post-run decode-integrity check.
 fn run_cell(
-    predictor: usize,
+    spec: &PredictorSpec,
     src: &mut Box<dyn TraceDecoder + Send>,
     cfg: &PipelineConfig,
 ) -> io::Result<pipeline::SimReport> {
-    let r = match predictor {
-        0 => simulate_source(&mut baselines::Gshare::cbp_512k(), src, MATRIX_SCENARIO, cfg),
-        1 => simulate_source(&mut baselines::Gehl::cbp_520k(), src, MATRIX_SCENARIO, cfg),
-        2 => simulate_source(&mut tage::TageSystem::reference_tage(), src, MATRIX_SCENARIO, cfg),
-        3 => simulate_source(&mut tage::TageSystem::tage_ium(), src, MATRIX_SCENARIO, cfg),
-        4 => simulate_source(&mut tage::TageSystem::isl_tage(), src, MATRIX_SCENARIO, cfg),
-        _ => simulate_source(&mut tage::TageSystem::tage_lsc(), src, MATRIX_SCENARIO, cfg),
-    };
+    let mut predictor = spec.build().expect("matrix specs are valid");
+    let r = simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg);
     // A decoder that hit corrupt bytes ends its stream early; surface
     // that as an error instead of reporting a silently truncated run.
     traces::finish(src.as_ref())?;
@@ -100,6 +107,10 @@ where
     let threads = threads
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |t| t.get()).min(16))
         .clamp(1, cells.max(1));
+    let specs: Vec<PredictorSpec> = MATRIX
+        .iter()
+        .map(|(_, spec)| PredictorSpec::parse(spec).expect("matrix specs parse"))
+        .collect();
     let slots: Vec<Mutex<Option<io::Result<pipeline::SimReport>>>> =
         (0..cells).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -111,7 +122,8 @@ where
                     return;
                 }
                 let (predictor, source) = (cell / n, cell % n);
-                let result = open(source).and_then(|mut src| run_cell(predictor, &mut src, cfg));
+                let result =
+                    open(source).and_then(|mut src| run_cell(&specs[predictor], &mut src, cfg));
                 *slots[cell].lock().unwrap() = Some(result);
             });
         }
@@ -119,7 +131,7 @@ where
     let mut slots = slots.into_iter();
     MATRIX
         .iter()
-        .map(|name| {
+        .map(|(name, _)| {
             let reports: io::Result<Vec<_>> = slots
                 .by_ref()
                 .take(n)

@@ -319,6 +319,28 @@ mod tests {
     }
 
     #[test]
+    fn boxed_branch_predictor_matches_static_stack() {
+        // Runtime-composed stacks arrive as `Box<dyn BranchPredictor>`;
+        // the engine must drive them through `impl Predictor for Box<..>`
+        // with bit-identical results — flights round-trip through the
+        // type-erased BoxedFlight across the whole in-flight window.
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let static_r = simulate_source(
+                &mut tage::TageSystem::isl_tage(),
+                &mut spec.stream(),
+                scenario,
+                &cfg,
+            );
+            let mut boxed: Box<dyn simkit::BranchPredictor> =
+                Box::new(tage::TageSystem::isl_tage());
+            let dyn_r = simulate_source(&mut boxed, &mut spec.stream(), scenario, &cfg);
+            assert_eq!(dyn_r, static_r, "dyn dispatch diverged under {scenario}");
+        }
+    }
+
+    #[test]
     fn boxed_dyn_source_matches_concrete_source() {
         // Foreign-format decoders arrive as `Box<dyn EventSource>`; the
         // engine must produce identical reports through the boxed path.

@@ -1,0 +1,287 @@
+//! The object-safe predictor trait: one vtable for every predictor.
+//!
+//! [`Predictor`] carries an associated `Flight` type — the statically
+//! typed snapshot a pipeline propagates with each in-flight branch. That
+//! is the right shape for monomorphized hot loops, but it is not object
+//! safe: a harness that composes predictor *stacks at runtime* (from a
+//! parsed `SystemSpec`, a registry, a CLI argument) needs one common type
+//! it can box, store in tables, and hand to a single generic simulation
+//! path.
+//!
+//! [`BranchPredictor`] is that trait. It mirrors the [`Predictor`]
+//! lifecycle method for method, with the flight erased to a
+//! [`BoxedFlight`]. Every [`Predictor`] is a [`BranchPredictor`] through
+//! the blanket impl below, and a `Box<dyn BranchPredictor>` is itself a
+//! [`Predictor`] (with `Flight = BoxedFlight`), so
+//! `pipeline::simulate_source` drives dynamically composed stacks through
+//! exactly the same engine as static ones — bit-identically, since the
+//! erasure only moves the flight behind one allocation.
+//!
+//! # Example
+//!
+//! ```
+//! use simkit::{BranchInfo, BranchPredictor, UpdateScenario};
+//!
+//! fn run(p: &mut dyn BranchPredictor, stream: &[(u64, bool)]) -> u64 {
+//!     let mut mispredicts = 0;
+//!     for &(pc, outcome) in stream {
+//!         let b = BranchInfo::conditional(pc);
+//!         let (pred, mut flight) = p.predict(&b);
+//!         if pred != outcome { mispredicts += 1; }
+//!         p.fetch_commit(&b, outcome, &mut flight);
+//!         p.execute(&b, outcome, &mut flight);
+//!         p.retire(&b, outcome, pred, flight, UpdateScenario::Immediate);
+//!     }
+//!     mispredicts
+//! }
+//! ```
+
+use crate::predictor::{BranchInfo, Predictor, UpdateScenario};
+use crate::stats::AccessStats;
+
+/// A type-erased in-flight snapshot. The concrete type is the wrapped
+/// predictor's [`Predictor::Flight`]; only that predictor ever downcasts
+/// it back.
+pub type BoxedFlight = Box<dyn std::any::Any + Send>;
+
+/// Object-safe twin of [`Predictor`]: the same
+/// `predict → fetch_commit → execute → retire` lifecycle, the same
+/// speculative-state rules, the same `storage_bits()` accounting — with
+/// the flight behind a [`BoxedFlight`] so heterogeneous predictors share
+/// one `dyn` type.
+///
+/// Do not implement this trait directly: implement [`Predictor`] and let
+/// the blanket impl lift it. Direct implementations would bypass the
+/// downcast discipline the blanket impl guarantees.
+pub trait BranchPredictor: Send {
+    /// Human-readable name including the configuration (for reports).
+    fn name(&self) -> String;
+
+    /// Total predictor storage in bits (tables + side structures).
+    fn storage_bits(&self) -> u64;
+
+    /// Fetch-time prediction; see [`Predictor::predict`].
+    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight);
+
+    /// Speculative-history extension; see [`Predictor::fetch_commit`].
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight);
+
+    /// Outcome known to the hardware; see [`Predictor::execute`].
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight);
+
+    /// Retire-time table update; see [`Predictor::retire`].
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: BoxedFlight,
+        scenario: UpdateScenario,
+    );
+
+    /// Non-conditional control flow; see [`Predictor::note_uncond`].
+    fn note_uncond(&mut self, b: &BranchInfo);
+
+    /// Access counters accumulated so far.
+    fn stats(&self) -> AccessStats;
+
+    /// Clears the access counters (e.g. after warm-up).
+    fn reset_stats(&mut self);
+}
+
+/// The flight a foreign caller slipped in was not produced by this
+/// predictor's own `predict` — a contract violation, never a data error.
+#[track_caller]
+fn downcast<F: 'static>(flight: BoxedFlight) -> Box<F> {
+    flight.downcast::<F>().expect("BoxedFlight fed back to a different predictor")
+}
+
+impl<P> BranchPredictor for P
+where
+    P: Predictor + Send,
+    P::Flight: Send + 'static,
+{
+    fn name(&self) -> String {
+        Predictor::name(self)
+    }
+
+    fn storage_bits(&self) -> u64 {
+        Predictor::storage_bits(self)
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight) {
+        let (pred, flight) = Predictor::predict(self, b);
+        (pred, Box::new(flight))
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+        let f = flight.downcast_mut::<P::Flight>().expect("flight from a different predictor");
+        Predictor::fetch_commit(self, b, outcome, f);
+    }
+
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+        let f = flight.downcast_mut::<P::Flight>().expect("flight from a different predictor");
+        Predictor::execute(self, b, outcome, f);
+    }
+
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: BoxedFlight,
+        scenario: UpdateScenario,
+    ) {
+        Predictor::retire(self, b, outcome, predicted, *downcast::<P::Flight>(flight), scenario);
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        Predictor::note_uncond(self, b);
+    }
+
+    fn stats(&self) -> AccessStats {
+        Predictor::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Predictor::reset_stats(self);
+    }
+}
+
+/// A boxed dynamic predictor is itself a [`Predictor`], so every generic
+/// simulation path (`pipeline::simulate_source`, the suite scheduler)
+/// accepts runtime-composed stacks unchanged.
+impl Predictor for Box<dyn BranchPredictor> {
+    type Flight = BoxedFlight;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (**self).storage_bits()
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight) {
+        (**self).predict(b)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+        (**self).fetch_commit(b, outcome, flight);
+    }
+
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+        (**self).execute(b, outcome, flight);
+    }
+
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        flight: BoxedFlight,
+        scenario: UpdateScenario,
+    ) {
+        (**self).retire(b, outcome, predicted, flight, scenario);
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        (**self).note_uncond(b);
+    }
+
+    fn stats(&self) -> AccessStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (**self).reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-bit-counter toy predictor exercising every lifecycle hook.
+    struct Toy {
+        ctr: i8,
+        stats: AccessStats,
+    }
+
+    impl Predictor for Toy {
+        type Flight = i8;
+
+        fn name(&self) -> String {
+            "toy".into()
+        }
+
+        fn storage_bits(&self) -> u64 {
+            2
+        }
+
+        fn predict(&mut self, _b: &BranchInfo) -> (bool, i8) {
+            self.stats.predict_reads += 1;
+            (self.ctr >= 0, self.ctr)
+        }
+
+        fn fetch_commit(&mut self, _b: &BranchInfo, _outcome: bool, _flight: &mut i8) {}
+
+        fn retire(
+            &mut self,
+            _b: &BranchInfo,
+            outcome: bool,
+            _predicted: bool,
+            flight: i8,
+            _scenario: UpdateScenario,
+        ) {
+            // Update from the carried (possibly stale) flight value.
+            self.ctr = (flight + if outcome { 1 } else { -1 }).clamp(-2, 1);
+        }
+
+        fn stats(&self) -> AccessStats {
+            self.stats
+        }
+
+        fn reset_stats(&mut self) {
+            self.stats = AccessStats::default();
+        }
+    }
+
+    fn drive<P: Predictor>(p: &mut P, stream: &[(u64, bool)]) -> u64 {
+        let mut wrong = 0;
+        for &(pc, outcome) in stream {
+            let b = BranchInfo::conditional(pc);
+            let (pred, mut f) = p.predict(&b);
+            if pred != outcome {
+                wrong += 1;
+            }
+            p.fetch_commit(&b, outcome, &mut f);
+            p.execute(&b, outcome, &mut f);
+            p.retire(&b, outcome, pred, f, UpdateScenario::FetchOnly);
+        }
+        wrong
+    }
+
+    #[test]
+    fn boxed_dyn_matches_static_bit_for_bit() {
+        let stream: Vec<(u64, bool)> =
+            (0..500u64).map(|i| (0x40 + (i % 3) * 4, i % 7 < 4)).collect();
+        let mut direct = Toy { ctr: 0, stats: AccessStats::default() };
+        let mut boxed: Box<dyn BranchPredictor> =
+            Box::new(Toy { ctr: 0, stats: AccessStats::default() });
+        assert_eq!(drive(&mut direct, &stream), drive(&mut boxed, &stream));
+        assert_eq!(Predictor::stats(&direct), Predictor::stats(&boxed));
+        assert_eq!(Predictor::name(&boxed), "toy");
+        assert_eq!(Predictor::storage_bits(&boxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different predictor")]
+    fn foreign_flight_is_rejected() {
+        let mut boxed: Box<dyn BranchPredictor> =
+            Box::new(Toy { ctr: 0, stats: AccessStats::default() });
+        let b = BranchInfo::conditional(0x40);
+        let mut wrong: BoxedFlight = Box::new("not a toy flight");
+        BranchPredictor::fetch_commit(&mut *boxed, &b, true, &mut wrong);
+    }
+}

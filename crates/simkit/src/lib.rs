@@ -14,6 +14,9 @@
 //!   `predict` → `fetch_commit` → `execute` → `retire`, with an associated
 //!   `Flight` snapshot type that models the information a real pipeline
 //!   propagates alongside each in-flight branch;
+//! * [`dynamic`] — the object-safe [`BranchPredictor`] twin of that trait,
+//!   so runtime-composed predictor stacks (`SystemSpec`-built chains,
+//!   registries, CLI-selected predictors) share one boxable type;
 //! * [`stats`] — predictor-table access accounting (reads, effective writes,
 //!   silent writes avoided) in the units used by §4 of the paper;
 //! * [`bits`] — tiny bit-manipulation helpers.
@@ -31,6 +34,7 @@
 
 pub mod bits;
 pub mod counter;
+pub mod dynamic;
 pub mod history;
 pub mod predictor;
 pub mod rng;
@@ -38,6 +42,7 @@ pub mod threshold;
 pub mod stats;
 
 pub use counter::{SignedCounter, UnsignedCounter};
+pub use dynamic::{BoxedFlight, BranchPredictor};
 pub use history::{FoldedHistory, GlobalHistory, LocalHistories, PathHistory};
 pub use predictor::{BranchInfo, BranchKind, Predictor, UpdateScenario};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -5,9 +5,132 @@ use proptest::prelude::*;
 use simkit::counter::{SignedCounter, UnsignedCounter};
 use simkit::history::{FoldedHistory, GlobalHistory, LocalHistories};
 use simkit::{BranchInfo, Predictor, UpdateScenario};
+use tage::{ProviderSpec, SpecError, StageSpec, SystemSpec, TageBase};
 use workloads::event::{Trace, TraceEvent};
 
+/// Builds an arbitrary-but-valid [`SystemSpec`] from sampled raw values.
+#[allow(clippy::too_many_arguments)]
+fn arb_spec(
+    base_sel: u8,
+    tables: usize,
+    hist: bool,
+    h_l1: usize,
+    h_span: usize,
+    scale: i32,
+    stage_mask: u8,
+    reverse_chain: bool,
+    ium_pow: u32,
+    lsc_2lht: bool,
+    lsc_scale: i32,
+    loop_pow: u32,
+    loop_ways: usize,
+    ilv: bool,
+    reread: bool,
+    label_sel: u8,
+) -> SystemSpec {
+    let base = match base_sel {
+        0 => TageBase::Reference,
+        1 => TageBase::LscCore,
+        _ => TageBase::Balanced { tables, l1: h_l1, lmax: h_l1 + h_span },
+    };
+    let provider = ProviderSpec {
+        base,
+        history: hist.then_some((h_l1, h_l1 + h_span)),
+        scale,
+    };
+    let mut stages = Vec::new();
+    if stage_mask & 1 != 0 {
+        stages.push(StageSpec::Ium { capacity: 1 << ium_pow });
+    }
+    if stage_mask & 2 != 0 {
+        stages.push(StageSpec::Gsc);
+    }
+    if stage_mask & 4 != 0 {
+        stages.push(StageSpec::Lsc { double_lht: lsc_2lht, scale: lsc_scale });
+    }
+    if stage_mask & 8 != 0 {
+        stages.push(StageSpec::Loop { entries: loop_ways << loop_pow, ways: loop_ways });
+    }
+    if reverse_chain {
+        // Chain order is free — novel orders must serialize too.
+        stages.reverse();
+    }
+    let label = match label_sel {
+        0 => None,
+        1 => Some("X".to_string()),
+        _ => Some("TAGE-LSC+like.v2".to_string()),
+    };
+    SystemSpec { provider, stages, interleaved: ilv, lsc_always_reread: reread, label }
+}
+
 proptest! {
+    #[test]
+    fn system_spec_round_trips_through_canonical_form(
+        base_sel in 0u8..3,
+        tables in 2usize..17,
+        hist in any::<bool>(),
+        h_l1 in 1usize..10,
+        h_span in 1usize..2000,
+        scale in -3i32..4,
+        stage_mask in 0u8..16,
+        reverse_chain in any::<bool>(),
+        ium_pow in 4u32..10,
+        lsc_2lht in any::<bool>(),
+        lsc_scale in -2i32..3,
+        loop_pow in 2u32..8,
+        loop_ways in 1usize..5,
+        ilv in any::<bool>(),
+        reread in any::<bool>(),
+        label_sel in 0u8..3,
+    ) {
+        let spec = arb_spec(
+            base_sel, tables, hist, h_l1, h_span, scale, stage_mask, reverse_chain,
+            ium_pow, lsc_2lht, lsc_scale, loop_pow, loop_ways, ilv, reread, label_sel,
+        );
+        prop_assert!(spec.validate().is_ok(), "generated spec must be valid: {spec:?}");
+        // Serialized form round-trips structurally.
+        let canonical = spec.to_string();
+        let reparsed: SystemSpec = canonical.parse().unwrap();
+        prop_assert_eq!(&spec, &reparsed, "'{}' did not round-trip", canonical);
+        // Canonicalization is idempotent.
+        prop_assert_eq!(canonical.clone(), reparsed.to_string());
+        // And the built stack's per-component budget sums to the whole.
+        let stack = spec.build().unwrap();
+        let total: u64 = stack.budget().iter().map(|(_, b)| b).sum();
+        prop_assert_eq!(total, stack.storage_bits());
+        prop_assert_eq!(stack.stages().len(), spec.stages.len());
+    }
+
+    #[test]
+    fn stack_assembly_rejects_ill_formed_chains(
+        kind in 0u8..4,
+        extra in 0u8..4,
+        dup_at in 0usize..5,
+    ) {
+        let token = ["ium", "sc", "lsc", "loop"][kind as usize];
+        // A stage in the provider position ("chooser before any provider").
+        let err = format!("{token}+tage").parse::<SystemSpec>().unwrap_err();
+        prop_assert!(
+            matches!(&err, SpecError::StackMustStartWithProvider { found } if found == token),
+            "got {err:?}"
+        );
+        // A duplicated stage kind, at any chain position.
+        let stage = |k: u8| match k {
+            0 => StageSpec::ium(),
+            1 => StageSpec::Gsc,
+            2 => StageSpec::lsc(),
+            _ => StageSpec::loop_pred(),
+        };
+        let mut spec = SystemSpec::reference();
+        spec.stages = vec![stage(kind), stage(extra)];
+        spec.stages.insert(dup_at.min(spec.stages.len()), stage(kind));
+        let err = spec.build().unwrap_err();
+        prop_assert!(matches!(err, SpecError::DuplicateStage { .. }), "got {err:?}");
+        // A second provider anywhere in the chain.
+        let err = format!("tage+{token}+tage").parse::<SystemSpec>().unwrap_err();
+        prop_assert_eq!(err, SpecError::DuplicateProvider);
+    }
+
     #[test]
     fn signed_counter_never_leaves_range(bits in 1u8..=8, steps in proptest::collection::vec(any::<bool>(), 0..200)) {
         let mut c = SignedCounter::new(bits);

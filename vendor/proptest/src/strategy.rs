@@ -52,22 +52,25 @@ macro_rules! int_arbitrary_and_ranges {
         impl Strategy for Range<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
+                // Wrapping arithmetic keeps the span math correct for
+                // signed ranges (negative starts) too.
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
-                self.start + rng.below(span) as $t
+                self.start.wrapping_add(rng.below(span) as $t)
             }
         }
 
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
-                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
-                self.start() + rng.below(span) as $t
+                let span =
+                    (*self.end() as u128).wrapping_sub(*self.start() as u128).wrapping_add(1);
+                self.start().wrapping_add(rng.below(span) as $t)
             }
         }
     )*};
 }
 
-int_arbitrary_and_ranges!(u8, u16, u32, u64, usize);
+int_arbitrary_and_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
