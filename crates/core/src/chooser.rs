@@ -1,0 +1,289 @@
+//! Chooser policies: the provider/alternate arbitration sub-stage.
+//!
+//! TAGE's final direction is a *policy* over two candidates — the
+//! longest-hitting component's prediction and the alternate (§3.1). The
+//! paper's policy is `USE_ALT_ON_NA`: a single 4-bit counter learning
+//! whether weak ("possibly newly allocated") provider entries should
+//! defer to their alternates. This module implements that policy behind
+//! the [`simkit::Chooser`] contract, plus two ablation alternates
+//! selectable from the spec grammar (`tage(chooser=...)`):
+//!
+//! | token     | policy |
+//! |-----------|--------|
+//! | `altweak` | §3.1 `USE_ALT_ON_NA` (default; bit-identical to the fused predictor) |
+//! | `always`  | always trust the provider (the no-chooser baseline)    |
+//! | `conf`    | confidence-weighted: trust whichever source counter is stronger |
+//!
+//! Choosers report **table** storage only: the paper's 4-bit
+//! `USE_ALT_ON_NA` counter is control state (like the allocation tick
+//! counter and the LFSR), excluded from §3.4's 65,408-byte figure — so
+//! all three policies budget at 0 bits.
+
+use simkit::chooser::{Chooser, ChooserView};
+use simkit::counter::SignedCounter;
+
+/// The §3.1 `USE_ALT_ON_NA` policy: defer to the alternate when the
+/// provider counter is weak and the counter says alternates have been
+/// winning.
+#[derive(Clone, Debug)]
+pub struct AltOnWeak {
+    use_alt_on_na: SignedCounter,
+}
+
+impl AltOnWeak {
+    /// The paper's 4-bit counter, starting at 0 (trust the alternate).
+    pub fn new() -> Self {
+        Self { use_alt_on_na: SignedCounter::new(4) }
+    }
+
+    /// Current counter value (diagnostics).
+    pub fn bias(&self) -> i16 {
+        self.use_alt_on_na.get()
+    }
+}
+
+impl Default for AltOnWeak {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Chooser for AltOnWeak {
+    fn token(&self) -> &'static str {
+        "altweak"
+    }
+
+    fn choose(&self, v: &ChooserView) -> bool {
+        if v.has_provider && v.provider_weak && self.use_alt_on_na.get() >= 0 {
+            v.alt_pred
+        } else {
+            v.provider_pred
+        }
+    }
+
+    fn update(&mut self, v: &ChooserView, outcome: bool) {
+        // Learn only from discriminating weak-provider cases (§3.1).
+        if v.has_provider && v.provider_weak && v.provider_pred != v.alt_pred {
+            self.use_alt_on_na.update(v.alt_pred == outcome);
+        }
+    }
+}
+
+/// The no-chooser baseline: the provider's prediction, unconditionally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AlwaysProvider;
+
+impl Chooser for AlwaysProvider {
+    fn token(&self) -> &'static str {
+        "always"
+    }
+
+    fn choose(&self, v: &ChooserView) -> bool {
+        v.provider_pred
+    }
+}
+
+/// Confidence-weighted arbitration: trust whichever candidate's source
+/// counter sits further from its weak point. Stateless — a pure function
+/// of the two centered-counter magnitudes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConfidenceWeighted;
+
+impl Chooser for ConfidenceWeighted {
+    fn token(&self) -> &'static str {
+        "conf"
+    }
+
+    fn choose(&self, v: &ChooserView) -> bool {
+        if v.has_provider && v.alt_strength > v.provider_strength {
+            v.alt_pred
+        } else {
+            v.provider_pred
+        }
+    }
+}
+
+/// Which chooser policy fills the slot — the spec-grammar form
+/// (`tage(chooser=...)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ChooserChoice {
+    /// [`AltOnWeak`], the paper's policy — the default.
+    #[default]
+    AltOnWeak,
+    /// [`AlwaysProvider`].
+    AlwaysProvider,
+    /// [`ConfidenceWeighted`].
+    Confidence,
+}
+
+impl ChooserChoice {
+    /// The spec-grammar token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ChooserChoice::AltOnWeak => "altweak",
+            ChooserChoice::AlwaysProvider => "always",
+            ChooserChoice::Confidence => "conf",
+        }
+    }
+
+    /// Parses a spec-grammar token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "altweak" => Some(ChooserChoice::AltOnWeak),
+            "always" => Some(ChooserChoice::AlwaysProvider),
+            "conf" => Some(ChooserChoice::Confidence),
+            _ => None,
+        }
+    }
+
+    /// Builds the slot this choice describes.
+    pub fn build(self) -> ChooserSlot {
+        match self {
+            ChooserChoice::AltOnWeak => ChooserSlot::AltOnWeak(AltOnWeak::new()),
+            ChooserChoice::AlwaysProvider => ChooserSlot::Always(AlwaysProvider),
+            ChooserChoice::Confidence => ChooserSlot::Confidence(ConfidenceWeighted),
+        }
+    }
+}
+
+/// The instantiated chooser sub-stage: the spec-constructible policy set
+/// behind one clonable type (every variant implements [`Chooser`]; the
+/// slot delegates, so it is itself a [`Chooser`]).
+#[derive(Clone, Debug)]
+pub enum ChooserSlot {
+    /// See [`AltOnWeak`].
+    AltOnWeak(AltOnWeak),
+    /// See [`AlwaysProvider`].
+    Always(AlwaysProvider),
+    /// See [`ConfidenceWeighted`].
+    Confidence(ConfidenceWeighted),
+}
+
+impl ChooserSlot {
+    /// Which choice built this slot.
+    pub fn choice(&self) -> ChooserChoice {
+        match self {
+            ChooserSlot::AltOnWeak(_) => ChooserChoice::AltOnWeak,
+            ChooserSlot::Always(_) => ChooserChoice::AlwaysProvider,
+            ChooserSlot::Confidence(_) => ChooserChoice::Confidence,
+        }
+    }
+
+    /// The `USE_ALT_ON_NA` counter value, when this is the paper's
+    /// policy (diagnostics).
+    pub fn alt_on_weak_bias(&self) -> Option<i16> {
+        match self {
+            ChooserSlot::AltOnWeak(c) => Some(c.bias()),
+            _ => None,
+        }
+    }
+
+    /// The installed policy as a trait object — one delegation point for
+    /// every current and future [`Chooser`] method.
+    fn as_dyn(&self) -> &dyn Chooser {
+        match self {
+            ChooserSlot::AltOnWeak(c) => c,
+            ChooserSlot::Always(c) => c,
+            ChooserSlot::Confidence(c) => c,
+        }
+    }
+
+    /// Mutable twin of [`ChooserSlot::as_dyn`].
+    fn as_dyn_mut(&mut self) -> &mut dyn Chooser {
+        match self {
+            ChooserSlot::AltOnWeak(c) => c,
+            ChooserSlot::Always(c) => c,
+            ChooserSlot::Confidence(c) => c,
+        }
+    }
+}
+
+impl Chooser for ChooserSlot {
+    fn token(&self) -> &'static str {
+        self.as_dyn().token()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.as_dyn().storage_bits()
+    }
+
+    fn choose(&self, v: &ChooserView) -> bool {
+        self.as_dyn().choose(v)
+    }
+
+    fn update(&mut self, v: &ChooserView, outcome: bool) {
+        self.as_dyn_mut().update(v, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(provider_pred: bool, alt_pred: bool, weak: bool) -> ChooserView {
+        ChooserView {
+            has_provider: true,
+            provider_pred,
+            alt_pred,
+            provider_weak: weak,
+            provider_strength: if weak { 1 } else { 7 },
+            alt_strength: 3,
+        }
+    }
+
+    #[test]
+    fn alt_on_weak_matches_fused_semantics() {
+        let mut c = AltOnWeak::new();
+        // Counter starts at 0 (>= 0): weak providers defer to the alternate.
+        assert!(!c.choose(&view(true, false, true)));
+        assert!(c.choose(&view(true, false, false)));
+        // Provider keeps beating the alternate on weak discriminating
+        // cases: the counter goes negative and the provider wins.
+        for _ in 0..5 {
+            c.update(&view(true, false, true), true);
+        }
+        assert!(c.bias() < 0);
+        assert!(c.choose(&view(true, false, true)));
+        // Non-discriminating and strong cases never train the counter.
+        let bias = c.bias();
+        c.update(&view(true, true, true), true);
+        c.update(&view(true, false, false), false);
+        assert_eq!(c.bias(), bias);
+    }
+
+    #[test]
+    fn always_provider_ignores_everything_else() {
+        let c = AlwaysProvider;
+        assert!(c.choose(&view(true, false, true)));
+        assert!(!c.choose(&view(false, true, true)));
+    }
+
+    #[test]
+    fn confidence_weighted_follows_the_stronger_counter() {
+        let c = ConfidenceWeighted;
+        // Weak provider (strength 1) vs alternate strength 3: alternate.
+        assert!(!c.choose(&view(true, false, true)));
+        // Strong provider (strength 7) wins.
+        assert!(c.choose(&view(true, false, false)));
+        // Without a provider both candidates agree anyway.
+        let mut v = view(true, true, false);
+        v.has_provider = false;
+        assert!(c.choose(&v));
+    }
+
+    #[test]
+    fn slot_round_trips_choice_and_budgets_zero() {
+        for choice in
+            [ChooserChoice::AltOnWeak, ChooserChoice::AlwaysProvider, ChooserChoice::Confidence]
+        {
+            assert_eq!(ChooserChoice::from_token(choice.token()), Some(choice));
+            let slot = choice.build();
+            assert_eq!(slot.choice(), choice);
+            // Control state only — see the module docs.
+            assert_eq!(Chooser::storage_bits(&slot), 0);
+        }
+        assert_eq!(ChooserChoice::from_token("sometimes"), None);
+        assert_eq!(ChooserChoice::default().build().alt_on_weak_bias(), Some(0));
+        assert_eq!(ChooserChoice::AlwaysProvider.build().alt_on_weak_bias(), None);
+    }
+}

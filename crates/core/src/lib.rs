@@ -3,8 +3,13 @@
 //! A from-scratch implementation of the predictors of *"A New Case for the
 //! TAGE Branch Predictor"* (André Seznec, MICRO 2011):
 //!
-//! * [`Tage`] — the TAGE predictor (§3): bimodal base + geometric-history
-//!   tagged components, u-bit management, `USE_ALT_ON_NA`;
+//! * [`Tage`] — the TAGE predictor (§3), itself a composition: a
+//!   [`provider::ProviderStack`] of three separately constructible,
+//!   separately budgeted sub-stages — a [`base::BaseSlot`] (the bimodal
+//!   default prediction, or an ablation base), the [`tagged::TaggedBank`]
+//!   (geometric-history tagged components with their u-bit allocation
+//!   policy), and a [`chooser::ChooserSlot`] policy (`USE_ALT_ON_NA` by
+//!   default) implementing [`simkit::Chooser`];
 //! * [`ium::Ium`] — the Immediate Update Mimicker (§5.1);
 //! * [`loop_pred::LoopPredictor`] — the loop predictor + speculative
 //!   iteration management (§5.2);
@@ -46,23 +51,29 @@
 //! ```
 
 pub mod base;
+pub mod chooser;
 pub mod confidence;
 pub mod config;
 pub mod corrector;
 pub mod ium;
 pub mod loop_pred;
+pub mod provider;
 pub mod spec;
 pub mod stack;
 pub mod system;
 pub mod tage;
 pub mod tagged;
 
+pub use base::{BaseChoice, BaseSlot};
+pub use chooser::{ChooserChoice, ChooserSlot};
 pub use confidence::{classify, Confidence, ConfidenceStats};
 pub use config::{TageConfig, MAX_TAGGED};
 pub use corrector::{Gsc, Lsc};
 pub use ium::Ium;
 pub use loop_pred::LoopPredictor;
+pub use provider::ProviderStack;
 pub use spec::{ProviderSpec, SpecError, StageSpec, SystemSpec, TageBase, PRESETS};
 pub use stack::{PredictorStack, SideStage, StackFlight, StageKind};
 pub use system::{SystemFlight, TageSystem};
 pub use tage::{Tage, TageFlight};
+pub use tagged::TaggedBank;

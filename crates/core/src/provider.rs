@@ -1,0 +1,172 @@
+//! [`ProviderStack`] — the TAGE provider as a composition of three
+//! separately constructible, separately budgeted sub-stages.
+//!
+//! The fused `Tage` of the pre-decomposition predictor hard-wired three
+//! distinct mechanisms together: the default prediction (a bimodal
+//! table), the tagged GE-history bank with its allocation policy, and
+//! the provider/alternate chooser (`USE_ALT_ON_NA`). Modeling them as
+//! slots opens the §3-level ablations to the spec grammar —
+//! `tage(base=gshare)`, `tage(chooser=always)` — the same way
+//! `PredictorStack` opened the side-stage ablations:
+//!
+//! ```text
+//!            ┌────────────── ProviderStack ───────────────┐
+//! PC, hist ─▶│ BaseSlot ──┐                               │
+//!            │ (default   ├─▶ Chooser ──▶ provider pred ──│─▶ side-stage chain
+//!            │  pred)     │   (arbitrates provider/alt)   │
+//!            │ TaggedBank ┘                               │
+//!            │ (GE tables + allocation policy)            │
+//!            └─────────────────────────────────────────────┘
+//! ```
+//!
+//! The default composition (`bimodal` base, `altweak` chooser) is
+//! bit-identical to the fused predictor — pinned by the golden-table
+//! suite. `Tage` remains the [`simkit::Predictor`] driving the stages
+//! (it owns the shared speculative state: global/path history, the
+//! interleaving selector, access stats); `ProviderStack` owns the three
+//! sub-stages and their budget split.
+
+use crate::base::{BaseChoice, BaseSlot};
+use crate::chooser::{ChooserChoice, ChooserSlot};
+use crate::config::TageConfig;
+use crate::tagged::TaggedBank;
+use simkit::chooser::Chooser;
+
+/// The three provider sub-stages, separately constructed and budgeted.
+#[derive(Clone, Debug)]
+pub struct ProviderStack {
+    base: BaseSlot,
+    bank: TaggedBank,
+    chooser: ChooserSlot,
+}
+
+impl ProviderStack {
+    /// Assembles a provider from explicitly constructed sub-stages.
+    pub fn new(base: BaseSlot, bank: TaggedBank, chooser: ChooserSlot) -> Self {
+        Self { base, bank, chooser }
+    }
+
+    /// The paper's provider for `cfg`: shared-hysteresis bimodal base,
+    /// `USE_ALT_ON_NA` chooser.
+    pub fn from_config(cfg: &TageConfig) -> Self {
+        Self::with_choices(cfg, BaseChoice::default(), ChooserChoice::default())
+    }
+
+    /// A provider with spec-selected base and chooser policies over the
+    /// same tagged bank.
+    pub fn with_choices(cfg: &TageConfig, base: BaseChoice, chooser: ChooserChoice) -> Self {
+        Self::new(base.build(cfg), TaggedBank::new(cfg), chooser.build())
+    }
+
+    /// The base-predictor sub-stage.
+    pub fn base(&self) -> &BaseSlot {
+        &self.base
+    }
+
+    /// Mutable base sub-stage (the predictor lifecycle writes through).
+    pub(crate) fn base_mut(&mut self) -> &mut BaseSlot {
+        &mut self.base
+    }
+
+    /// The tagged-bank sub-stage.
+    pub fn bank(&self) -> &TaggedBank {
+        &self.bank
+    }
+
+    /// Mutable bank sub-stage.
+    pub(crate) fn bank_mut(&mut self) -> &mut TaggedBank {
+        &mut self.bank
+    }
+
+    /// The chooser sub-stage.
+    pub fn chooser(&self) -> &ChooserSlot {
+        &self.chooser
+    }
+
+    /// Mutable chooser sub-stage.
+    pub(crate) fn chooser_mut(&mut self) -> &mut ChooserSlot {
+        &mut self.chooser
+    }
+
+    /// Per-sub-stage storage budget. Sums to
+    /// [`ProviderStack::storage_bits`]; the chooser row reports table
+    /// storage only (see `crate::chooser` — the 4-bit `USE_ALT_ON_NA`
+    /// counter is control state, excluded like the allocation tick).
+    pub fn budget(&self) -> [(&'static str, u64); 3] {
+        [
+            ("tage.base", self.base.storage_bits()),
+            ("tage.tagged", self.bank.storage_bits()),
+            ("tage.chooser", Chooser::storage_bits(&self.chooser)),
+        ]
+    }
+
+    /// Total provider storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.budget().iter().map(|(_, b)| b).sum()
+    }
+
+    /// The spec-grammar decoration for non-default sub-stages: the
+    /// canonical `(base=...,chooser=...)` production, or `""` for the
+    /// paper's provider. Report labels and `Predictor::name` append this,
+    /// so default-path output is byte-identical to the fused predictor's.
+    pub fn decoration(&self) -> String {
+        let mut params = Vec::new();
+        if self.base.choice() != BaseChoice::default() {
+            params.push(format!("base={}", self.base.choice().token()));
+        }
+        if self.chooser.choice() != ChooserChoice::default() {
+            params.push(format!("chooser={}", self.chooser.choice().token()));
+        }
+        if params.is_empty() {
+            String::new()
+        } else {
+            format!("({})", params.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_provider_budget_matches_the_fused_accounting() {
+        let cfg = TageConfig::reference_64kb();
+        let p = ProviderStack::from_config(&cfg);
+        // The sub-stage split reproduces the paper's §3.4 arithmetic:
+        // 40,960 bimodal bits + 482,304 tagged bits = 65,408 bytes.
+        let budget = p.budget();
+        assert_eq!(budget[0], ("tage.base", 40_960));
+        assert_eq!(budget[1], ("tage.tagged", 482_304));
+        assert_eq!(budget[2], ("tage.chooser", 0));
+        assert_eq!(p.storage_bits(), cfg.storage_bits());
+        assert_eq!(p.decoration(), "");
+    }
+
+    #[test]
+    fn non_default_slots_decorate_and_rebudget() {
+        let cfg = TageConfig::reference_64kb();
+        let p = ProviderStack::with_choices(&cfg, BaseChoice::Gshare, ChooserChoice::Confidence);
+        assert_eq!(p.decoration(), "(base=gshare,chooser=conf)");
+        // The gshare base has private hysteresis: 2 bits per entry.
+        assert_eq!(p.budget()[0].1, 2 << cfg.bimodal_bits);
+        let chooser_only =
+            ProviderStack::with_choices(&cfg, BaseChoice::default(), ChooserChoice::AlwaysProvider);
+        assert_eq!(chooser_only.decoration(), "(chooser=always)");
+        assert_eq!(chooser_only.storage_bits(), cfg.storage_bits());
+    }
+
+    #[test]
+    fn sub_stages_are_separately_constructible() {
+        let cfg = TageConfig::reference_64kb();
+        let p = ProviderStack::new(
+            BaseChoice::TwoBit.build(&cfg),
+            TaggedBank::new(&cfg),
+            ChooserChoice::AltOnWeak.build(),
+        );
+        assert_eq!(p.base().choice(), BaseChoice::TwoBit);
+        assert_eq!(p.bank().len(), cfg.num_tagged);
+        assert_eq!(p.chooser().choice(), ChooserChoice::AltOnWeak);
+        assert_eq!(p.decoration(), "(base=2bc)");
+    }
+}

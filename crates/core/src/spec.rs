@@ -13,8 +13,11 @@
 //!
 //! ```text
 //! spec     := provider ( "+" stage )* ( "/" flag )*
-//! provider := "tage" [ ":lsc" | ":b" N "," L1 "," LMAX ]
+//! provider := "tage" [ "(" param ( "," param )* ")" ]
+//!                    [ ":lsc" | ":b" N "," L1 "," LMAX ]
 //!                    [ ":h" L1 "," LMAX ] [ ":x" DELTA ]
+//! param    := "base=" ( "bimodal" | "2bc" | "gshare" )
+//!           | "chooser=" ( "altweak" | "always" | "conf" )
 //! stage    := "ium" [ ":" CAPACITY ]
 //!           | "sc"
 //!           | "lsc" [ ":2lht" ] [ ":x" DELTA ]
@@ -26,6 +29,12 @@
 //!   §6.1 TAGE-LSC core (T7 halved); `:bN,L1,LMAX` the §6.2 balanced
 //!   N-table configuration; `:h` overrides the geometric history bounds;
 //!   `:x` scales every table by `2^DELTA` (the Figure 9 sweep axis).
+//! * the parenthesized provider-internal productions select the
+//!   [`BaseChoice`] under the tagged bank and the [`ChooserChoice`]
+//!   policy (§3.1's `USE_ALT_ON_NA` by default) — the §3-level provider
+//!   ablations. Defaults (`base=bimodal`, `chooser=altweak`) are omitted
+//!   from the canonical form, so `tage(base=bimodal,chooser=altweak)`
+//!   canonicalizes to `tage` and shares its cached suite.
 //! * stages run **in the order written** (the paper's canonical order is
 //!   `ium+sc+lsc+loop`); `lsc:2lht` doubles the local history table
 //!   (§7.1 pairs it with interleaving).
@@ -47,6 +56,8 @@
 //! non-power-of-two IUM capacity — at parse *and* at build, so
 //! hand-constructed specs get the same checks as parsed ones.
 
+use crate::base::BaseChoice;
+use crate::chooser::ChooserChoice;
 use crate::config::{TageConfig, MAX_TAGGED};
 use crate::corrector::{Gsc, Lsc};
 use crate::ium::Ium;
@@ -84,12 +95,23 @@ pub struct ProviderSpec {
     pub history: Option<(usize, usize)>,
     /// Budget scale: every table ×`2^scale` entries (Figure 9).
     pub scale: i32,
+    /// The base predictor filling the slot under the tagged bank
+    /// (`tage(base=...)`).
+    pub base_slot: BaseChoice,
+    /// The provider/alternate chooser policy (`tage(chooser=...)`).
+    pub chooser: ChooserChoice,
 }
 
 impl ProviderSpec {
     /// The reference provider, unscaled.
     pub fn reference() -> Self {
-        Self { base: TageBase::Reference, history: None, scale: 0 }
+        Self {
+            base: TageBase::Reference,
+            history: None,
+            scale: 0,
+            base_slot: BaseChoice::default(),
+            chooser: ChooserChoice::default(),
+        }
     }
 
     /// Resolves to a concrete table configuration.
@@ -281,7 +303,11 @@ impl SystemSpec {
     /// stages, bad stage geometry, bad provider parameters).
     pub fn build(&self) -> Result<PredictorStack, SpecError> {
         self.validate()?;
-        let tage = Tage::new(self.provider.to_config()?);
+        let tage = Tage::with_choices(
+            self.provider.to_config()?,
+            self.provider.base_slot,
+            self.provider.chooser,
+        );
         let stages = self.stages.iter().map(StageSpec::build).collect();
         let mut stack = PredictorStack::from_parts(tage, stages);
         if let Some(label) = &self.label {
@@ -373,6 +399,15 @@ pub enum SpecError {
         /// What the argument must satisfy.
         reason: &'static str,
     },
+    /// An ill-formed `tage(key=value,...)` provider-internal production:
+    /// an unknown key, a value from the wrong domain (e.g.
+    /// `base=altweak`), a duplicated key, or a malformed group.
+    BadProviderParam {
+        /// The offending parameter (or group fragment).
+        param: String,
+        /// What the production must satisfy.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -391,6 +426,9 @@ impl fmt::Display for SpecError {
                 write!(f, "stage '{stage}' requires a tage provider, not '{provider}'")
             }
             SpecError::BadArg { token, reason } => write!(f, "bad '{token}' argument: {reason}"),
+            SpecError::BadProviderParam { param, reason } => {
+                write!(f, "bad provider parameter '{param}': {reason}")
+            }
         }
     }
 }
@@ -400,6 +438,16 @@ impl std::error::Error for SpecError {}
 impl fmt::Display for SystemSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "tage")?;
+        // Provider-internal productions, defaults omitted (fixed
+        // base-then-chooser order keeps the form canonical).
+        let base_slot = (self.provider.base_slot != BaseChoice::default())
+            .then(|| format!("base={}", self.provider.base_slot.token()));
+        let chooser = (self.provider.chooser != ChooserChoice::default())
+            .then(|| format!("chooser={}", self.provider.chooser.token()));
+        let params: Vec<String> = base_slot.into_iter().chain(chooser).collect();
+        if !params.is_empty() {
+            write!(f, "({})", params.join(","))?;
+        }
         match self.provider.base {
             TageBase::Reference => {}
             TageBase::LscCore => write!(f, ":lsc")?,
@@ -497,20 +545,94 @@ impl FromStr for SystemSpec {
     }
 }
 
+/// Parses the `(key=value,...)` provider-internal production.
+fn parse_provider_params(inner: &str, provider: &mut ProviderSpec) -> Result<(), SpecError> {
+    if inner.is_empty() {
+        return Err(SpecError::BadProviderParam {
+            param: "()".into(),
+            reason: "empty parameter list (omit the parentheses for the defaults)",
+        });
+    }
+    let (mut saw_base, mut saw_chooser) = (false, false);
+    for kv in inner.split(',') {
+        let Some((key, value)) = kv.split_once('=') else {
+            return Err(SpecError::BadProviderParam {
+                param: kv.to_string(),
+                reason: "expected key=value",
+            });
+        };
+        match key {
+            "base" => {
+                if saw_base {
+                    return Err(SpecError::BadProviderParam {
+                        param: kv.to_string(),
+                        reason: "'base' given more than once",
+                    });
+                }
+                saw_base = true;
+                provider.base_slot = BaseChoice::from_token(value).ok_or_else(|| {
+                    SpecError::BadProviderParam {
+                        param: kv.to_string(),
+                        reason: "base must be one of bimodal, 2bc, gshare",
+                    }
+                })?;
+            }
+            "chooser" => {
+                if saw_chooser {
+                    return Err(SpecError::BadProviderParam {
+                        param: kv.to_string(),
+                        reason: "'chooser' given more than once",
+                    });
+                }
+                saw_chooser = true;
+                provider.chooser = ChooserChoice::from_token(value).ok_or_else(|| {
+                    SpecError::BadProviderParam {
+                        param: kv.to_string(),
+                        reason: "chooser must be one of altweak, always, conf",
+                    }
+                })?;
+            }
+            _ => {
+                return Err(SpecError::BadProviderParam {
+                    param: kv.to_string(),
+                    reason: "unknown key (expected base= or chooser=)",
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
 fn parse_provider(seg: &str) -> Result<ProviderSpec, SpecError> {
     let mut opts = seg.split(':');
     let head = opts.next().unwrap_or_default();
-    if head != "tage" {
+    // Split off a `(key=value,...)` provider-parameter group, if present.
+    let (name, params) = match head.find('(') {
+        Some(at) => {
+            let inner = head[at + 1..].strip_suffix(')').ok_or_else(|| {
+                SpecError::BadProviderParam {
+                    param: head.to_string(),
+                    reason: "provider parameters must be '(key=value,...)'",
+                }
+            })?;
+            (&head[..at], Some(inner))
+        }
+        None => (head, None),
+    };
+    if name != "tage" {
         // A stage token in the provider position is the classic
-        // ill-formed chain ("chooser before any provider"). `head` is
-        // already colon-split, so exact matching is the right test —
-        // anything else is just an unknown token.
-        if ["ium", "sc", "lsc", "loop"].contains(&head) {
-            return Err(SpecError::StackMustStartWithProvider { found: head.to_string() });
+        // ill-formed chain ("chooser before any provider"). `name` is
+        // already colon- and paren-split, so exact matching is the right
+        // test — anything else is just an unknown token.
+        if ["ium", "sc", "lsc", "loop"].contains(&name) {
+            return Err(SpecError::StackMustStartWithProvider { found: name.to_string() });
         }
         return Err(SpecError::UnknownToken { token: head.to_string() });
     }
     let mut provider = ProviderSpec::reference();
+    if let Some(inner) = params {
+        parse_provider_params(inner, &mut provider)?;
+    }
     for opt in opts {
         if opt == "lsc" {
             if provider.base != TageBase::Reference {
@@ -547,6 +669,10 @@ fn parse_provider(seg: &str) -> Result<ProviderSpec, SpecError> {
 fn parse_stage(seg: &str) -> Result<StageSpec, SpecError> {
     let mut opts = seg.split(':');
     let head = opts.next().unwrap_or_default();
+    if head.starts_with("tage(") {
+        // A parameterized provider in a stage position.
+        return Err(SpecError::DuplicateProvider);
+    }
     let stage = match head {
         "tage" => return Err(SpecError::DuplicateProvider),
         "ium" => {
@@ -711,6 +837,69 @@ mod tests {
             assert!(stack.storage_bits() > 0);
             assert_eq!(spec.to_string(), s);
         }
+    }
+
+    #[test]
+    fn provider_params_round_trip_and_canonicalize() {
+        // Explicit defaults canonicalize away — the decomposed default
+        // provider shares the reference suite's memo label.
+        let spec: SystemSpec = "tage(base=bimodal,chooser=altweak)+ium".parse().unwrap();
+        assert_eq!(spec.to_string(), "tage+ium");
+        assert_eq!(spec, "tage+ium".parse().unwrap());
+        // Non-defaults stay, in fixed base-then-chooser order.
+        for s in [
+            "tage(chooser=always)",
+            "tage(base=gshare)",
+            "tage(base=2bc,chooser=conf)",
+            "tage(base=gshare,chooser=conf):lsc:x-1+ium+lsc",
+            "tage(chooser=always)+ium+sc+loop/ilv/as=ABLATED",
+        ] {
+            let spec: SystemSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "canonical form changed");
+            let stack = spec.build().unwrap();
+            assert!(simkit::Predictor::storage_bits(&stack) > 0);
+        }
+    }
+
+    #[test]
+    fn ill_formed_provider_params_are_typed_errors() {
+        for s in [
+            "tage()",                     // empty group
+            "tage(base)",                 // no value
+            "tage(base=)",                // empty value
+            "tage(base=altweak)",         // chooser value in the base domain
+            "tage(chooser=bimodal)",      // base value in the chooser domain
+            "tage(chooser=gshare)",       // base value in the chooser domain
+            "tage(base=bimodal,base=2bc)", // duplicate key
+            "tage(speed=fast)",           // unknown key
+            "tage(base=gshare",           // unclosed group
+        ] {
+            assert!(
+                matches!(
+                    s.parse::<SystemSpec>().unwrap_err(),
+                    SpecError::BadProviderParam { .. }
+                ),
+                "'{s}' should be a typed provider-param error"
+            );
+        }
+        // A parameterized provider in a stage position is a duplicate
+        // provider, same as the bare token.
+        assert_eq!(
+            "tage+ium+tage(chooser=always)".parse::<SystemSpec>().unwrap_err(),
+            SpecError::DuplicateProvider
+        );
+    }
+
+    #[test]
+    fn provider_params_change_the_sim_identity() {
+        let plain: SystemSpec = "tage".parse().unwrap();
+        let always: SystemSpec = "tage(chooser=always)".parse().unwrap();
+        let gshare: SystemSpec = "tage(base=gshare)".parse().unwrap();
+        assert_ne!(plain, always);
+        assert_ne!(plain.to_string(), gshare.to_string());
+        // The base slot changes the budget; the chooser does not.
+        assert_eq!(plain.storage_bits().unwrap(), always.storage_bits().unwrap());
+        assert_ne!(plain.storage_bits().unwrap(), gshare.storage_bits().unwrap());
     }
 
     #[test]

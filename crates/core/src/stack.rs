@@ -5,7 +5,8 @@
 //! IUM, the loop predictor and the global Statistical Corrector bolted on
 //! one at a time (§5); TAGE-LSC swaps the last two for the local
 //! corrector (§6). [`PredictorStack`] models exactly that: one [`Tage`]
-//! provider (bimodal base + tagged components + chooser) followed by a
+//! provider — itself a composition of base/tagged-bank/chooser
+//! sub-stages (see [`crate::provider::ProviderStack`]) — followed by a
 //! chain of [`SideStage`]s evaluated **in order** at prediction time:
 //!
 //! ```text
@@ -275,7 +276,9 @@ impl PredictorStack {
     }
 
     fn relabel(&mut self) {
-        let mut label = "TAGE".to_string();
+        // Non-default provider sub-stages decorate the label with their
+        // spec production (empty for the paper's provider).
+        let mut label = format!("TAGE{}", self.tage.provider().decoration());
         for kind in [StageKind::Ium, StageKind::Loop, StageKind::Gsc, StageKind::Lsc] {
             if self.stage(kind).is_some() {
                 label.push_str(match kind {
@@ -309,11 +312,12 @@ impl PredictorStack {
         &self.stages
     }
 
-    /// Per-component storage budget, in chain order: `("tage", bits)`
-    /// followed by one row per side stage. Sums to
-    /// [`Predictor::storage_bits`].
+    /// Per-component storage budget, in chain order: the three provider
+    /// sub-stage rows (`tage.base`, `tage.tagged`, `tage.chooser` — see
+    /// [`crate::provider::ProviderStack::budget`]) followed by one row
+    /// per side stage. Sums to [`Predictor::storage_bits`].
     pub fn budget(&self) -> Vec<(&'static str, u64)> {
-        let mut rows = vec![("tage", self.tage.storage_bits())];
+        let mut rows = self.tage.provider().budget().to_vec();
         rows.extend(self.stages.iter().map(|s| (s.kind().token(), s.storage_bits())));
         rows
     }

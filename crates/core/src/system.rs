@@ -388,11 +388,14 @@ mod tests {
         let delta = full.storage_bits() - plain.storage_bits();
         // IUM + loop + GSC + LSC ≈ 2 + 3 + 24 + 31 Kbit.
         assert!(delta < 80 * 1024, "side predictor budget too large: {delta}");
-        // The per-component budget breakdown sums to the whole.
+        // The per-component budget breakdown sums to the whole; the
+        // provider contributes its three sub-stage rows.
         let budget = full.budget();
         assert_eq!(budget.iter().map(|(_, b)| b).sum::<u64>(), full.storage_bits());
-        assert_eq!(budget[0].0, "tage");
-        assert_eq!(budget.len(), 5);
+        assert_eq!(budget[0].0, "tage.base");
+        assert_eq!(budget[1].0, "tage.tagged");
+        assert_eq!(budget[2].0, "tage.chooser");
+        assert_eq!(budget.len(), 7);
     }
 
     #[test]

@@ -1,19 +1,30 @@
-//! The TAGE predictor (§3).
+//! The TAGE predictor (§3), driven as a decomposed [`ProviderStack`].
 //!
-//! A bimodal base predictor backed by M partially tagged components
-//! indexed with geometrically increasing global history lengths. The
-//! *provider* is the hitting component with the longest history; the
-//! *alternate prediction* is what would have been predicted on a provider
-//! miss. Entries are allocated only on mispredictions, on up to four
+//! A base predictor backed by M partially tagged components indexed with
+//! geometrically increasing global history lengths. The *provider* is
+//! the hitting component with the longest history; the *alternate
+//! prediction* is what would have been predicted on a provider miss.
+//! Entries are allocated only on mispredictions, on up to four
 //! non-consecutive tables above the provider, guarded by single useful
 //! bits with a global reset driven by an 8-bit allocation monitor.
+//!
+//! [`Tage`] is the [`Predictor`] lifecycle wrapper: it owns the shared
+//! speculative state (global and path history, the bank-interleaving
+//! selector, access stats) and drives the three provider sub-stages —
+//! [`BaseSlot`](crate::base::BaseSlot),
+//! [`TaggedBank`](crate::tagged::TaggedBank) and the
+//! [`Chooser`](simkit::Chooser) policy — that a [`ProviderStack`]
+//! composes. The default composition (bimodal base, `USE_ALT_ON_NA`
+//! chooser) is bit-identical to the pre-decomposition fused predictor
+//! (pinned by the golden-table suite).
 
-use crate::base::{BaseBimodal, BaseRead};
+use crate::base::{BaseChoice, BaseRead};
+use crate::chooser::ChooserChoice;
 use crate::config::{TageConfig, MAX_TAGGED};
-use crate::tagged::{TaggedEntry, TaggedTable};
-use simkit::counter::SignedCounter;
-use simkit::history::{GlobalHistory, PathHistory};
+use crate::provider::ProviderStack;
 use memarray::{interleaved_index, BankSelector, ConflictModel};
+use simkit::chooser::{Chooser, ChooserView};
+use simkit::history::{GlobalHistory, PathHistory};
 use simkit::predictor::{BranchInfo, Predictor, UpdateScenario};
 use simkit::stats::AccessStats;
 
@@ -29,14 +40,9 @@ pub struct Interleave {
 #[derive(Clone, Debug)]
 pub struct Tage {
     cfg: TageConfig,
-    base: BaseBimodal,
-    tables: Vec<TaggedTable>,
+    provider: ProviderStack,
     ghist: GlobalHistory,
     path: PathHistory,
-    use_alt_on_na: SignedCounter,
-    tick: u16,
-    tick_max: u16,
-    lfsr: u64,
     interleave: Option<Interleave>,
     stats: AccessStats,
 }
@@ -60,13 +66,13 @@ pub struct TageFlight {
     pub hits: u16,
     /// Provider component (tagged table number, 0-based), if any.
     pub provider: Option<u8>,
-    /// Alternate provider (tagged table), `None` = bimodal.
+    /// Alternate provider (tagged table), `None` = the base predictor.
     pub alt: Option<u8>,
     /// Provider component's prediction.
     pub provider_pred: bool,
     /// Alternate prediction.
     pub alt_pred: bool,
-    /// Final TAGE prediction (after `USE_ALT_ON_NA`).
+    /// Final TAGE prediction (after the chooser).
     pub tage_pred: bool,
     /// Whether the provider counter was weak.
     pub weak: bool,
@@ -74,8 +80,8 @@ pub struct TageFlight {
 
 impl TageFlight {
     /// Identity of the entry that provided the prediction, as
-    /// (component, index); component 0 is the bimodal base. This is what
-    /// the IUM records (§5.1).
+    /// (component, index); component 0 is the base predictor. This is
+    /// what the IUM records (§5.1).
     pub fn provider_entry(&self) -> (u8, u32) {
         match self.provider {
             Some(t) => (t + 1, self.indices[t as usize]),
@@ -88,17 +94,23 @@ impl TageFlight {
     /// (centered) output of the hitting bank").
     pub fn provider_centered(&self) -> i32 {
         match self.provider {
-            Some(t) => {
-                let c = self.ctrs[t as usize];
-                2 * i32::from(c) + 1
-            }
-            None => {
-                // Map the bimodal 2-bit state onto the 3-bit centered scale.
-                let c = (self.base.pred as i32) * 2 + self.base.hyst as i32;
-                [-7, -1, 1, 7][c as usize]
-            }
+            Some(t) => tagged_centered(self.ctrs[t as usize]),
+            None => base_centered(self.base),
         }
     }
+}
+
+/// A tagged counter value on the centered scale (§5.3): `2c + 1`.
+#[inline]
+fn tagged_centered(ctr: i16) -> i32 {
+    2 * i32::from(ctr) + 1
+}
+
+/// The base predictor's 2-bit state mapped onto the 3-bit centered scale.
+#[inline]
+fn base_centered(base: BaseRead) -> i32 {
+    let c = (base.pred as i32) * 2 + base.hyst as i32;
+    [-7, -1, 1, 7][c as usize]
 }
 
 /// Values the retire-time update works from: either the flight snapshot
@@ -114,35 +126,67 @@ struct UpdateView {
     weak: bool,
 }
 
+impl UpdateView {
+    /// The chooser's digest of this view: provider/alternate candidates
+    /// with their centered-counter strengths.
+    fn chooser_view(&self) -> ChooserView {
+        let strength = |t: Option<u8>| match t {
+            Some(t) => tagged_centered(self.ctrs[t as usize]).abs(),
+            None => base_centered(self.base).abs(),
+        };
+        ChooserView {
+            has_provider: self.provider.is_some(),
+            provider_pred: self.provider_pred,
+            alt_pred: self.alt_pred,
+            provider_weak: self.weak,
+            provider_strength: strength(self.provider),
+            alt_strength: strength(self.alt),
+        }
+    }
+}
+
 impl Tage {
-    /// Builds a TAGE predictor from a configuration.
+    /// Builds the paper's TAGE predictor from a configuration (bimodal
+    /// base, `USE_ALT_ON_NA` chooser).
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`TageConfig::validate`].
     pub fn new(cfg: TageConfig) -> Self {
+        Self::with_choices(cfg, BaseChoice::default(), ChooserChoice::default())
+    }
+
+    /// Builds a TAGE predictor with spec-selected base-predictor and
+    /// chooser policies (the §3-level provider ablations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TageConfig::validate`].
+    pub fn with_choices(cfg: TageConfig, base: BaseChoice, chooser: ChooserChoice) -> Self {
         cfg.validate();
-        let lengths = cfg.history_lengths();
-        let tables = (0..cfg.num_tagged)
-            .map(|i| {
-                TaggedTable::new(
-                    i + 1,
-                    cfg.table_size_bits[i],
-                    cfg.tag_widths[i],
-                    lengths[i],
-                    cfg.ctr_bits,
-                )
-            })
-            .collect();
+        let provider = ProviderStack::with_choices(&cfg, base, chooser);
+        Self::from_parts(cfg, provider)
+    }
+
+    /// Wraps an explicitly assembled [`ProviderStack`]. The provider's
+    /// bank must have been built from `cfg` (the config supplies the
+    /// shared path-history width and the component count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`TageConfig::validate`] or the
+    /// bank's table count disagrees with it.
+    pub fn from_parts(cfg: TageConfig, provider: ProviderStack) -> Self {
+        cfg.validate();
+        assert_eq!(
+            provider.bank().len(),
+            cfg.num_tagged,
+            "provider bank disagrees with the configuration"
+        );
         Self {
-            base: BaseBimodal::new(cfg.bimodal_bits, cfg.hysteresis_shift),
-            tables,
+            provider,
             ghist: GlobalHistory::new(),
             path: PathHistory::new(cfg.path_bits),
-            use_alt_on_na: SignedCounter::new(4),
-            tick: 0,
-            tick_max: 255,
-            lfsr: 0x1234_5678_9ABC_DEF1,
             interleave: None,
             cfg,
             stats: AccessStats::default(),
@@ -183,22 +227,20 @@ impl Tage {
         &self.cfg
     }
 
+    /// The decomposed provider (sub-stage access, per-stage budget).
+    pub fn provider(&self) -> &ProviderStack {
+        &self.provider
+    }
+
     /// Fraction of useful bits currently set, per table (diagnostics).
     pub fn useful_fractions(&self) -> Vec<f64> {
-        self.tables.iter().map(|t| t.useful_fraction()).collect()
+        self.provider.bank().useful_fractions()
     }
 
-    /// Current `USE_ALT_ON_NA` value.
+    /// Current `USE_ALT_ON_NA` value (0 when a stateless chooser policy
+    /// is installed).
     pub fn use_alt_on_na(&self) -> i16 {
-        self.use_alt_on_na.get()
-    }
-
-    #[inline]
-    fn next_rand(&mut self) -> u64 {
-        self.lfsr ^= self.lfsr << 13;
-        self.lfsr ^= self.lfsr >> 7;
-        self.lfsr ^= self.lfsr << 17;
-        self.lfsr
+        self.provider.chooser().alt_on_weak_bias().unwrap_or(0)
     }
 
     /// Derives provider/alternate fields from per-table hit data.
@@ -232,7 +274,6 @@ impl Tage {
             }
             None => (base.pred, false),
         };
-        let _ = hits;
         UpdateView {
             base,
             ctrs: *ctrs,
@@ -249,21 +290,12 @@ impl Tage {
     /// indices (retire-time re-read, scenarios \[I\]/\[A\] and
     /// mispredicted \[C\]).
     fn reread_view(&self, flight: &TageFlight) -> UpdateView {
-        let base = self.base.read_index(flight.base.index);
+        let base = self.provider.base().read_index(flight.base.index);
         let mut ctrs = [0i16; MAX_TAGGED];
         let mut us = [false; MAX_TAGGED];
-        let mut hits = 0u16;
-        for t in 0..self.cfg.num_tagged {
-            self.tables[t].prefetch(flight.indices[t] as usize);
-        }
-        for t in 0..self.cfg.num_tagged {
-            let e = self.tables[t].entry(flight.indices[t] as usize);
-            ctrs[t] = e.ctr.get();
-            us[t] = e.u;
-            if e.tag == flight.tags[t] {
-                hits |= 1 << t;
-            }
-        }
+        self.provider.bank().prefetch_all(&flight.indices);
+        let hits =
+            self.provider.bank().read_flight(&flight.indices, &flight.tags, &mut ctrs, &mut us);
         Self::resolve(base, &ctrs, &us, hits, self.cfg.num_tagged)
     }
 
@@ -279,51 +311,6 @@ impl Tage {
             weak: flight.weak,
         }
     }
-
-    /// Allocates new entries on mispredictions (§3.2.1) and maintains the
-    /// u-bit reset monitor (§3.2.2).
-    fn allocate(&mut self, flight: &TageFlight, view: &UpdateView, outcome: bool) {
-        let m = self.cfg.num_tagged;
-        let first = match view.provider {
-            Some(p) => p as usize + 1,
-            None => 0,
-        };
-        if first >= m {
-            return;
-        }
-        // Randomized start (avoids ping-pong between competing branches).
-        let mut k = first;
-        if m - first > 1 && self.next_rand() & 1 == 0 {
-            k += 1;
-        }
-        let mut allocated = 0;
-        while k < m && allocated < self.cfg.max_alloc {
-            if !view.us[k] {
-                let entry = TaggedEntry {
-                    ctr: SignedCounter::with_value(self.cfg.ctr_bits, if outcome { 0 } else { -1 }),
-                    tag: flight.tags[k],
-                    u: false,
-                };
-                let idx = flight.indices[k] as usize;
-                let changed = self.tables[k].write(idx, entry);
-                self.stats.record_write(changed);
-                // Success: decrement the failure monitor.
-                self.tick = self.tick.saturating_sub(1);
-                allocated += 1;
-                k += 2; // non-consecutive tables
-            } else {
-                // Failure: increment; on saturation reset all u bits.
-                self.tick += 1;
-                if self.tick >= self.tick_max {
-                    for t in &mut self.tables {
-                        t.reset_useful();
-                    }
-                    self.tick = 0;
-                }
-                k += 1;
-            }
-        }
-    }
 }
 
 impl Predictor for Tage {
@@ -331,14 +318,15 @@ impl Predictor for Tage {
 
     fn name(&self) -> String {
         format!(
-            "tage-{}c-{}Kbit",
+            "tage-{}c-{}Kbit{}",
             self.cfg.num_tagged + 1,
-            (self.storage_bits() + 512) / 1024
+            (self.storage_bits() + 512) / 1024,
+            self.provider.decoration()
         )
     }
 
     fn storage_bits(&self) -> u64 {
-        self.cfg.storage_bits()
+        self.provider.storage_bits()
     }
 
     fn predict(&mut self, b: &BranchInfo) -> (bool, TageFlight) {
@@ -350,10 +338,14 @@ impl Predictor for Tage {
         });
         let base = match bank {
             Some(bk) => {
-                let idx = interleaved_index(self.base.index(b.pc), bk, self.cfg.bimodal_bits);
-                self.base.read_index(idx)
+                let idx = interleaved_index(
+                    self.provider.base().index(b.pc),
+                    bk,
+                    self.provider.base().size_bits(),
+                );
+                self.provider.base().read_index(idx)
             }
-            None => self.base.read(b.pc),
+            None => self.provider.base().read(b.pc),
         };
         let mut flight = TageFlight {
             base,
@@ -369,26 +361,22 @@ impl Predictor for Tage {
             tage_pred: base.pred,
             weak: false,
         };
-        // First compute every component's index and tag (pure hashing)
-        // while prefetching the entries, so the per-component reads below
-        // overlap their cache misses instead of serializing them.
-        for t in 0..self.cfg.num_tagged {
-            let mut idx = self.tables[t].index(b.pc, &self.path);
-            if let Some(bk) = bank {
-                idx = interleaved_index(idx, bk, self.cfg.table_size_bits[t]);
-            }
-            flight.indices[t] = idx as u32;
-            flight.tags[t] = self.tables[t].tag(b.pc);
-            self.tables[t].prefetch(idx);
-        }
-        for t in 0..self.cfg.num_tagged {
-            let e = self.tables[t].entry(flight.indices[t] as usize);
-            flight.ctrs[t] = e.ctr.get();
-            flight.us[t] = e.u;
-            if e.tag == flight.tags[t] {
-                flight.hits |= 1 << t;
-            }
-        }
+        // Compute every component's index and tag (pure hashing) while
+        // prefetching the entries, then read — so the per-component reads
+        // overlap their cache misses instead of serializing.
+        self.provider.bank().compute_keys(
+            b.pc,
+            &self.path,
+            bank,
+            &mut flight.indices,
+            &mut flight.tags,
+        );
+        flight.hits = self.provider.bank().read_flight(
+            &flight.indices,
+            &flight.tags,
+            &mut flight.ctrs,
+            &mut flight.us,
+        );
         let view =
             Self::resolve(base, &flight.ctrs, &flight.us, flight.hits, self.cfg.num_tagged);
         flight.provider = view.provider;
@@ -396,20 +384,14 @@ impl Predictor for Tage {
         flight.provider_pred = view.provider_pred;
         flight.alt_pred = view.alt_pred;
         flight.weak = view.weak;
-        flight.tage_pred = if view.provider.is_some() && view.weak && self.use_alt_on_na.get() >= 0
-        {
-            view.alt_pred
-        } else {
-            view.provider_pred
-        };
+        flight.tage_pred = self.provider.chooser().choose(&view.chooser_view());
         (flight.tage_pred, flight)
     }
 
     fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, _flight: &mut TageFlight) {
         self.ghist.push(outcome);
-        for t in &mut self.tables {
-            t.update_history(&self.ghist);
-        }
+        self.provider.bank_mut().update_history(&self.ghist);
+        self.provider.base_mut().update_history(&self.ghist);
         self.path.push(b.pc);
     }
 
@@ -437,37 +419,46 @@ impl Predictor for Tage {
                 let idx = flight.indices[p] as usize;
                 // Provider entry update: counter always moves toward the
                 // outcome (§3.2); the useful bit is set when the provider
-                // was correct and the alternate was not. Counter and u bit
-                // live in the same entry — one write.
-                let mut e = self.tables[p].entry(idx);
-                let mut c = SignedCounter::with_value(self.cfg.ctr_bits, view.ctrs[p]);
-                c.update(outcome);
-                e.ctr = c;
-                if view.provider_pred != view.alt_pred && view.provider_pred == outcome {
-                    e.u = true;
-                }
-                let changed = self.tables[p].write(idx, e);
-                self.stats.record_write(changed);
-                // USE_ALT_ON_NA learns whether weak providers beat their
-                // alternates (§3.1).
-                if view.weak && view.provider_pred != view.alt_pred {
-                    self.use_alt_on_na.update(view.alt_pred == outcome);
-                }
+                // was correct and the alternate was not.
+                let set_u = view.provider_pred != view.alt_pred && view.provider_pred == outcome;
+                self.provider.bank_mut().train_provider(
+                    p,
+                    idx,
+                    view.ctrs[p],
+                    outcome,
+                    set_u,
+                    &mut self.stats,
+                );
                 // Train the base when it was the effective alternate of a
                 // weak provider (keeps the default prediction fresh).
                 if view.weak && view.alt.is_none() {
-                    self.base.update(view.base, outcome, &mut self.stats);
+                    self.provider.base_mut().update(view.base, outcome, &mut self.stats);
                 }
             }
             None => {
-                self.base.update(view.base, outcome, &mut self.stats);
+                self.provider.base_mut().update(view.base, outcome, &mut self.stats);
             }
         }
+        // The chooser learns from every retire-time view (the policies
+        // gate themselves; `USE_ALT_ON_NA` trains only on discriminating
+        // weak-provider cases, §3.1).
+        self.provider.chooser_mut().update(&view.chooser_view(), outcome);
 
         // Allocation on TAGE mispredictions (§3.2.1). The trigger is the
         // *fetch-time* TAGE prediction: that is what steered the pipeline.
         if flight.tage_pred != outcome {
-            self.allocate(&flight, &view, outcome);
+            let first = match view.provider {
+                Some(p) => p as usize + 1,
+                None => 0,
+            };
+            self.provider.bank_mut().allocate(
+                &flight.indices,
+                &flight.tags,
+                &view.us,
+                first,
+                outcome,
+                &mut self.stats,
+            );
         }
     }
 
@@ -492,8 +483,8 @@ mod tests {
     use super::*;
     use crate::config::TageConfig;
 
-    fn small() -> Tage {
-        let cfg = TageConfig {
+    fn small_cfg() -> TageConfig {
+        TageConfig {
             num_tagged: 6,
             l1: 4,
             lmax: 128,
@@ -504,8 +495,11 @@ mod tests {
             ctr_bits: 3,
             max_alloc: 4,
             path_bits: 16,
-        };
-        Tage::new(cfg)
+        }
+    }
+
+    fn small() -> Tage {
+        Tage::new(small_cfg())
     }
 
     fn drive(p: &mut Tage, pc: u64, outcome: bool) -> bool {
@@ -581,6 +575,9 @@ mod tests {
         let p = Tage::reference_64kb();
         assert_eq!(p.storage_bits(), 65_408 * 8);
         assert!(p.name().contains("13c"));
+        // The decomposed provider budget rows sum to the same total.
+        let budget = p.provider().budget();
+        assert_eq!(budget.iter().map(|(_, b)| b).sum::<u64>(), p.storage_bits());
     }
 
     #[test]
@@ -666,5 +663,73 @@ mod tests {
         let c = f.provider_centered();
         assert_eq!(c >= 0, pred);
         assert_eq!(c.rem_euclid(2), 1, "centered value must be odd: {c}");
+    }
+
+    #[test]
+    fn chooser_policies_still_learn_the_stream() {
+        // Every chooser policy must leave the core learning machinery
+        // intact: a biased branch trains to near-perfect prediction.
+        for chooser in
+            [ChooserChoice::AltOnWeak, ChooserChoice::AlwaysProvider, ChooserChoice::Confidence]
+        {
+            let mut p = Tage::with_choices(small_cfg(), BaseChoice::default(), chooser);
+            let mut wrong = 0;
+            for i in 0..2000 {
+                let out = i % 2 == 0;
+                if drive(&mut p, 0x400, out) != out && i > 500 {
+                    wrong += 1;
+                }
+            }
+            assert!(wrong < 40, "{chooser:?}: wrong={wrong}");
+        }
+    }
+
+    #[test]
+    fn base_ablations_still_learn_the_stream() {
+        for base in [BaseChoice::Bimodal, BaseChoice::TwoBit, BaseChoice::Gshare] {
+            let mut p = Tage::with_choices(small_cfg(), base, ChooserChoice::default());
+            let mut wrong = 0;
+            for i in 0..500 {
+                if !drive(&mut p, 0x400, true) && i > 50 {
+                    wrong += 1;
+                }
+            }
+            assert!(wrong < 10, "{base:?}: wrong={wrong}");
+        }
+    }
+
+    #[test]
+    fn decomposed_names_decorate_only_non_defaults() {
+        assert_eq!(Tage::reference_64kb().name(), "tage-13c-511Kbit");
+        let ablated = Tage::with_choices(
+            TageConfig::reference_64kb(),
+            BaseChoice::Gshare,
+            ChooserChoice::AlwaysProvider,
+        );
+        // gshare base: 2 bits × 32K entries = 65,536 base bits
+        // (+ 482,304 tagged = 547,840 total → 535 Kbit rounded).
+        assert_eq!(ablated.name(), "tage-13c-535Kbit(base=gshare,chooser=always)");
+    }
+
+    #[test]
+    fn always_provider_never_consults_the_alternate() {
+        // With the always-provider chooser, a weak provider's prediction
+        // must be used verbatim — flight.tage_pred == provider_pred.
+        let mut p = Tage::with_choices(
+            small_cfg(),
+            BaseChoice::default(),
+            ChooserChoice::AlwaysProvider,
+        );
+        let mut rng = simkit::rng::Xoshiro256::seed_from(13);
+        for _ in 0..3000 {
+            let pc = 0x400 + (rng.gen_range(64) << 2);
+            let b = BranchInfo::conditional(pc);
+            let (pred, mut f) = p.predict(&b);
+            assert_eq!(pred, f.provider_pred);
+            let out = rng.gen_bool(0.5);
+            p.fetch_commit(&b, out, &mut f);
+            p.retire(&b, out, pred, f, UpdateScenario::Immediate);
+        }
+        assert_eq!(p.use_alt_on_na(), 0, "stateless chooser reports no bias");
     }
 }

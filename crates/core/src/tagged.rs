@@ -1,14 +1,24 @@
-//! Tagged predictor components (tables T1..TM).
+//! Tagged predictor components (tables T1..TM) and the [`TaggedBank`]
+//! sub-stage that groups them.
 //!
 //! Each entry holds a 3-bit prediction counter `ctr` (sign = prediction),
 //! a partial tag and a useful bit `u` (Figure 2 of the paper). Tables are
 //! indexed with a hash of the PC, a folded global history of the table's
 //! geometric length, and folded path history; tags use two differently
 //! folded histories so index- and tag-aliasing are decorrelated.
+//!
+//! [`TaggedBank`] owns the table group *and its allocation/update
+//! policy*: the randomized non-consecutive allocation of §3.2.1, the
+//! 8-bit tick monitor driving the global u-bit reset of §3.2.2, and the
+//! provider-entry training write. It is one of the three separately
+//! constructible provider sub-stages (see `crate::provider`).
 
+use crate::config::{TageConfig, MAX_TAGGED};
+use memarray::interleaved_index;
 use simkit::bits::mask;
 use simkit::counter::SignedCounter;
 use simkit::history::{FoldedHistory, GlobalHistory, PathHistory};
+use simkit::stats::AccessStats;
 
 /// One entry of a tagged component.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -166,6 +176,11 @@ impl TaggedTable {
         self.hist_len
     }
 
+    /// log2 of the entry count (the bank-interleaving index width).
+    pub fn size_bits(&self) -> u32 {
+        self.size_bits
+    }
+
     /// Tag width in bits.
     pub fn tag_width(&self) -> u8 {
         self.tag_width
@@ -179,6 +194,221 @@ impl TaggedTable {
     /// Fraction of entries with the useful bit set (diagnostics).
     pub fn useful_fraction(&self) -> f64 {
         self.entries.iter().filter(|e| e.u).count() as f64 / self.entries.len() as f64
+    }
+}
+
+/// The tagged-table sub-stage: tables T1..TM plus their allocation and
+/// update policy (§3.2). Owns the per-bank control state the fused
+/// predictor used to carry — the 8-bit allocation tick, its saturation
+/// threshold, and the LFSR that randomizes allocation starts.
+#[derive(Clone, Debug)]
+pub struct TaggedBank {
+    tables: Vec<TaggedTable>,
+    tick: u16,
+    tick_max: u16,
+    lfsr: u64,
+    max_alloc: usize,
+    ctr_bits: u8,
+}
+
+impl TaggedBank {
+    /// Builds the bank a configuration describes.
+    pub fn new(cfg: &TageConfig) -> Self {
+        let lengths = cfg.history_lengths();
+        let tables = (0..cfg.num_tagged)
+            .map(|i| {
+                TaggedTable::new(
+                    i + 1,
+                    cfg.table_size_bits[i],
+                    cfg.tag_widths[i],
+                    lengths[i],
+                    cfg.ctr_bits,
+                )
+            })
+            .collect();
+        Self {
+            tables,
+            tick: 0,
+            tick_max: 255,
+            lfsr: 0x1234_5678_9ABC_DEF1,
+            max_alloc: cfg.max_alloc,
+            ctr_bits: cfg.ctr_bits,
+        }
+    }
+
+    /// Number of tagged tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the bank has no tables (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The tables, in component order.
+    pub fn tables(&self) -> &[TaggedTable] {
+        &self.tables
+    }
+
+    /// Prediction counter width.
+    pub fn ctr_bits(&self) -> u8 {
+        self.ctr_bits
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        self.lfsr ^= self.lfsr << 13;
+        self.lfsr ^= self.lfsr >> 7;
+        self.lfsr ^= self.lfsr << 17;
+        self.lfsr
+    }
+
+    /// Fetch-time key computation: per-table index (bank-interleaved when
+    /// `ibank` is set) and tag, prefetching each entry so the reads in
+    /// [`TaggedBank::read_flight`] overlap their cache misses.
+    #[inline]
+    pub fn compute_keys(
+        &self,
+        pc: u64,
+        path: &PathHistory,
+        ibank: Option<u8>,
+        indices: &mut [u32; MAX_TAGGED],
+        tags: &mut [u16; MAX_TAGGED],
+    ) {
+        for (t, table) in self.tables.iter().enumerate() {
+            let mut idx = table.index(pc, path);
+            if let Some(bk) = ibank {
+                idx = interleaved_index(idx, bk, table.size_bits());
+            }
+            indices[t] = idx as u32;
+            tags[t] = table.tag(pc);
+            table.prefetch(idx);
+        }
+    }
+
+    /// Prefetches every table's entry at the carried indices (the
+    /// retire-time re-read path).
+    #[inline]
+    pub fn prefetch_all(&self, indices: &[u32; MAX_TAGGED]) {
+        for (t, table) in self.tables.iter().enumerate() {
+            table.prefetch(indices[t] as usize);
+        }
+    }
+
+    /// Reads every table at the carried indices, filling counter values
+    /// and useful bits; returns the tag-hit mask.
+    #[inline]
+    pub fn read_flight(
+        &self,
+        indices: &[u32; MAX_TAGGED],
+        tags: &[u16; MAX_TAGGED],
+        ctrs: &mut [i16; MAX_TAGGED],
+        us: &mut [bool; MAX_TAGGED],
+    ) -> u16 {
+        let mut hits = 0u16;
+        for (t, table) in self.tables.iter().enumerate() {
+            let e = table.entry(indices[t] as usize);
+            ctrs[t] = e.ctr.get();
+            us[t] = e.u;
+            if e.tag == tags[t] {
+                hits |= 1 << t;
+            }
+        }
+        hits
+    }
+
+    /// Trains the provider entry at retire (§3.2): the counter moves
+    /// toward the outcome from the carried (possibly stale) value
+    /// `ctr_val`; the useful bit is set when `set_u`. Counter and u bit
+    /// live in the same entry — one write.
+    pub fn train_provider(
+        &mut self,
+        table: usize,
+        index: usize,
+        ctr_val: i16,
+        outcome: bool,
+        set_u: bool,
+        stats: &mut AccessStats,
+    ) {
+        let mut e = self.tables[table].entry(index);
+        let mut c = SignedCounter::with_value(self.ctr_bits, ctr_val);
+        c.update(outcome);
+        e.ctr = c;
+        if set_u {
+            e.u = true;
+        }
+        let changed = self.tables[table].write(index, e);
+        stats.record_write(changed);
+    }
+
+    /// Allocates new entries on mispredictions (§3.2.1) and maintains the
+    /// u-bit reset monitor (§3.2.2). `first` is the first table eligible
+    /// for allocation (one past the provider).
+    pub fn allocate(
+        &mut self,
+        indices: &[u32; MAX_TAGGED],
+        tags: &[u16; MAX_TAGGED],
+        us: &[bool; MAX_TAGGED],
+        first: usize,
+        outcome: bool,
+        stats: &mut AccessStats,
+    ) {
+        let m = self.tables.len();
+        if first >= m {
+            return;
+        }
+        // Randomized start (avoids ping-pong between competing branches).
+        let mut k = first;
+        if m - first > 1 && self.next_rand() & 1 == 0 {
+            k += 1;
+        }
+        let mut allocated = 0;
+        while k < m && allocated < self.max_alloc {
+            if !us[k] {
+                let entry = TaggedEntry {
+                    ctr: SignedCounter::with_value(self.ctr_bits, if outcome { 0 } else { -1 }),
+                    tag: tags[k],
+                    u: false,
+                };
+                let idx = indices[k] as usize;
+                let changed = self.tables[k].write(idx, entry);
+                stats.record_write(changed);
+                // Success: decrement the failure monitor.
+                self.tick = self.tick.saturating_sub(1);
+                allocated += 1;
+                k += 2; // non-consecutive tables
+            } else {
+                // Failure: increment; on saturation reset all u bits.
+                self.tick += 1;
+                if self.tick >= self.tick_max {
+                    for t in &mut self.tables {
+                        t.reset_useful();
+                    }
+                    self.tick = 0;
+                }
+                k += 1;
+            }
+        }
+    }
+
+    /// Advances every table's folded histories after a
+    /// [`GlobalHistory::push`].
+    #[inline]
+    pub fn update_history(&mut self, gh: &GlobalHistory) {
+        for t in &mut self.tables {
+            t.update_history(gh);
+        }
+    }
+
+    /// Total bank storage in bits.
+    pub fn storage_bits(&self) -> u64 {
+        self.tables.iter().map(|t| t.storage_bits(self.ctr_bits)).sum()
+    }
+
+    /// Fraction of useful bits currently set, per table (diagnostics).
+    pub fn useful_fractions(&self) -> Vec<f64> {
+        self.tables.iter().map(TaggedTable::useful_fraction).collect()
     }
 }
 

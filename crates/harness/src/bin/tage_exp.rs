@@ -165,8 +165,10 @@ fn print_usage() {
     println!("  --stream      regenerate traces inside each job (no suite materialization)");
     println!("  --list        print the experiment ids, spec counts and descriptions");
     println!("  system <spec...>  simulate user-composed predictor stacks over the suite,");
-    println!("                    e.g. 'tage:x-1+ium+loop' (see DESIGN.md §2 for the grammar)");
+    println!("                    e.g. 'tage:x-1+ium+loop' or the provider-internal ablations");
+    println!("                    'tage(base=gshare,chooser=always)' (see DESIGN.md §2)");
     println!("  budgets          per-component storage budgets of the named presets");
+    println!("                   (base/tagged/chooser provider sub-stage rows + side stages)");
     println!("  trace <file...>  run the predictor matrix over external trace files");
     println!("                   (.ttr / cbp / csv, format autodetected)");
     println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");

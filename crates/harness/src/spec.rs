@@ -205,9 +205,13 @@ impl FromStr for PredictorSpec {
             return Err(SpecError::Empty);
         }
         let head = s.split([':', '+', '/']).next().unwrap_or_default();
-        if head == "tage" || ["ium", "sc", "lsc", "loop"].contains(&head) {
-            // Everything stack-shaped (including the ill-formed
-            // stage-first chains, for their typed errors).
+        if head == "tage"
+            || head.starts_with("tage(")
+            || ["ium", "sc", "lsc", "loop"].contains(&head)
+        {
+            // Everything stack-shaped — the bare provider, a provider
+            // with internal `(base=...,chooser=...)` productions, and
+            // the ill-formed stage-first chains (for their typed errors).
             return Ok(PredictorSpec::Stack(s.parse()?));
         }
         // Baselines take no chain stages and no flags.
@@ -287,6 +291,8 @@ mod tests {
             "snap:512k",
             "ftl:512k",
             "tage+ium+sc+loop/as=ISL-TAGE",
+            "tage(chooser=always)",
+            "tage(base=gshare,chooser=conf)+ium",
         ] {
             let spec = PredictorSpec::parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
             assert_eq!(spec.to_string(), s, "canonical form changed");

@@ -27,8 +27,9 @@ use workloads::TraceSpec;
 /// The predictor matrix as `(display name, spec)` pairs, in table-column
 /// order. Each cell builds its predictor through the declarative
 /// [`PredictorSpec`] registry behind the object-safe
-/// [`simkit::BranchPredictor`] — this is the genuinely dynamic path (the
-/// suite experiments keep monomorphized dispatch; see
+/// [`simkit::BranchPredictor`], wrapped in a [`simkit::DynPredictor`]
+/// flight pool — this is the genuinely dynamic path (the suite
+/// experiments keep monomorphized dispatch; see
 /// [`crate::ctx::ExpContext::run_spec`]).
 pub const MATRIX: [(&str, &str); 6] = [
     ("gshare-512K", "gshare:512k"),
@@ -67,14 +68,15 @@ impl TraceDecoder for SpecSource {
 }
 
 /// One matrix cell: a fresh spec-built predictor streamed over one
-/// source (through the boxed [`simkit::BranchPredictor`] route), with a
+/// source (through the pooled [`simkit::DynPredictor`] route — dynamic
+/// dispatch with recycled flights, no per-branch allocation), with a
 /// post-run decode-integrity check.
 fn run_cell(
     spec: &PredictorSpec,
     src: &mut Box<dyn TraceDecoder + Send>,
     cfg: &PipelineConfig,
 ) -> io::Result<pipeline::SimReport> {
-    let mut predictor = spec.build().expect("matrix specs are valid");
+    let mut predictor = simkit::DynPredictor::new(spec.build().expect("matrix specs are valid"));
     let r = simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg);
     // A decoder that hit corrupt bytes ends its stream early; surface
     // that as an error instead of reporting a silently truncated run.

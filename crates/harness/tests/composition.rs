@@ -35,14 +35,23 @@ fn preset_budgets_land_within_1pct_of_paper() {
     assert_eq!(reference.storage_bits(), 65_408 * 8);
 }
 
-/// Every preset's per-component budget rows sum to its total, and the
-/// audit table covers only presets that exist.
+/// Every preset's per-component budget rows sum to its total, every
+/// preset leads with the three provider sub-stage rows (base / tagged /
+/// chooser), and the audit table covers only presets that exist.
 #[test]
 fn budget_breakdown_sums_to_total() {
     for (name, _) in tage::PRESETS {
         let stack = SystemSpec::preset(name).unwrap().build().unwrap();
-        let sum: u64 = stack.budget().iter().map(|(_, b)| b).sum();
+        let budget = stack.budget();
+        let sum: u64 = budget.iter().map(|(_, b)| b).sum();
         assert_eq!(sum, stack.storage_bits(), "{name}: budget rows do not sum");
+        // The decomposed provider reports its own per-sub-stage split.
+        assert_eq!(budget[0].0, "tage.base", "{name}");
+        assert_eq!(budget[1].0, "tage.tagged", "{name}");
+        assert_eq!(budget[2].0, "tage.chooser", "{name}");
+        assert!(budget[0].1 > 0 && budget[1].1 > 0, "{name}: empty provider sub-stage");
+        // The tagged bank dominates every paper configuration.
+        assert!(budget[1].1 > budget[0].1, "{name}: tagged bank should dominate");
     }
     for (name, _) in PAPER_BUDGET_BITS {
         assert!(SystemSpec::preset(name).is_some(), "audit references unknown preset '{name}'");
@@ -110,8 +119,9 @@ fn label_only_variants_share_one_suite() {
     assert_eq!(counts(&a), counts(&b));
 }
 
-/// The boxed `BranchPredictor` route (trace mode, `tage_exp system`) is
-/// bit-identical to the monomorphized route the sweeps use.
+/// The dynamic `BranchPredictor` routes — bare boxed (allocating) and
+/// `DynPredictor`-pooled (trace mode's arena path) — are bit-identical
+/// to the monomorphized route the sweeps use.
 #[test]
 fn boxed_spec_route_matches_monomorphized_route() {
     let spec = PredictorSpec::parse("tage:lsc+ium+lsc/as=TAGE-LSC").unwrap();
@@ -120,6 +130,9 @@ fn boxed_spec_route_matches_monomorphized_route() {
     let mut boxed = spec.build().unwrap();
     let via_box =
         pipeline::simulate(&mut boxed, &trace, UpdateScenario::RereadOnMispredict, &cfg);
+    let mut pooled = simkit::DynPredictor::new(spec.build().unwrap());
+    let via_pool =
+        pipeline::simulate(&mut pooled, &trace, UpdateScenario::RereadOnMispredict, &cfg);
     let direct = pipeline::simulate(
         &mut tage::TageSystem::tage_lsc(),
         &trace,
@@ -127,4 +140,35 @@ fn boxed_spec_route_matches_monomorphized_route() {
         &cfg,
     );
     assert_eq!(via_box, direct, "dyn dispatch must not change a single bit");
+    assert_eq!(via_pool, direct, "flight recycling must not change a single bit");
+    // The pool really did bound allocations by the in-flight window.
+    assert!(
+        pooled.flight_allocations() <= cfg.retire_lag as u64 + 1,
+        "pooled route allocated {} flights",
+        pooled.flight_allocations()
+    );
+}
+
+/// A decomposed-provider ablation spec runs end to end through the same
+/// spec route `tage_exp system` uses, and its default-parameter twin
+/// shares the reference suite through the memo cache.
+#[test]
+fn provider_ablation_specs_run_end_to_end() {
+    let ctx = ExpContext::with_options(
+        Scale::Tiny,
+        ExpOptions { threads: Some(2), ..Default::default() },
+    );
+    let ablated = PredictorSpec::parse("tage(base=2bc,chooser=conf)").unwrap();
+    let suite = ctx.run_spec(&ablated, UpdateScenario::RereadAtRetire);
+    assert_eq!(suite.reports.len(), 40);
+    assert!(suite.total_mispredicts() > 0);
+    // Explicit defaults canonicalize onto the plain reference spec.
+    let explicit = PredictorSpec::parse("tage(base=bimodal,chooser=altweak)").unwrap();
+    let plain = PredictorSpec::parse("tage").unwrap();
+    assert_eq!(explicit, plain);
+    assert_eq!(explicit.sim_key(), "tage");
+    let a = ctx.run_spec(&explicit, UpdateScenario::RereadAtRetire);
+    let b = ctx.run_spec(&plain, UpdateScenario::RereadAtRetire);
+    assert_eq!(ctx.scheduler_stats().suite_memo_hits, 1, "default twin must share the suite");
+    assert_eq!(a.reports, b.reports);
 }

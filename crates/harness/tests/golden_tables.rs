@@ -7,11 +7,16 @@
 //! it can silently land. CI additionally runs the release binary and
 //! diffs its filtered stdout against the same file.
 
-use harness::experiments::{prefetch, ALL_EXPERIMENTS, EXPERIMENTS};
+use harness::experiments::{by_id, prefetch, ALL_EXPERIMENTS, EXPERIMENTS};
 use harness::{ExpContext, ExpOptions};
 use workloads::suite::Scale;
 
 const GOLDEN: &str = include_str!("golden/all_tiny.txt");
+
+/// The E15 chooser × base ablation section alone (a byte-identical slice
+/// of the full golden), so the provider-decomposition experiment is
+/// pinned independently of the pre-existing fifteen.
+const GOLDEN_E15: &str = include_str!("golden/e15_chooser_base_tiny.txt");
 
 /// Renders all experiments exactly as the binary prints them (each
 /// render block followed by the blank line the `# [id] done` separator
@@ -57,6 +62,21 @@ fn all_experiment_tables_match_the_checked_in_golden() {
     let ctx = ExpContext::with_options(Scale::Tiny, ExpOptions::default());
     prefetch(&ctx, &ALL_EXPERIMENTS);
     assert_matches_golden(&render_all(&ctx));
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "9-composition suite sweep; run with --release (CI does)"
+)]
+fn e15_chooser_base_matrix_matches_its_golden() {
+    let ctx = ExpContext::with_options(Scale::Tiny, ExpOptions::default());
+    let exp = by_id("chooser-base").expect("E15 registered");
+    exp.prefetch(&ctx);
+    let got = exp.render(&ctx);
+    assert_eq!(got, GOLDEN_E15, "E15 drifted from its checked-in golden");
+    // The standalone golden is literally a slice of the full one.
+    assert!(GOLDEN.ends_with(&format!("{GOLDEN_E15}\n")));
 }
 
 #[test]

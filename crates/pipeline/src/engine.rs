@@ -320,10 +320,11 @@ mod tests {
 
     #[test]
     fn boxed_branch_predictor_matches_static_stack() {
-        // Runtime-composed stacks arrive as `Box<dyn BranchPredictor>`;
-        // the engine must drive them through `impl Predictor for Box<..>`
-        // with bit-identical results — flights round-trip through the
-        // type-erased BoxedFlight across the whole in-flight window.
+        // Runtime-composed stacks arrive as `Box<dyn BranchPredictor>` —
+        // bare (one flight allocation per branch) or wrapped in the
+        // recycling `DynPredictor` pool. The engine must drive both with
+        // bit-identical results: flights round-trip through type-erased
+        // `FlightSlot`s across the whole in-flight window.
         let spec = by_name("INT02", Scale::Tiny).unwrap();
         let cfg = PipelineConfig::default();
         for scenario in simkit::predictor::UpdateScenario::ALL {
@@ -337,6 +338,17 @@ mod tests {
                 Box::new(tage::TageSystem::isl_tage());
             let dyn_r = simulate_source(&mut boxed, &mut spec.stream(), scenario, &cfg);
             assert_eq!(dyn_r, static_r, "dyn dispatch diverged under {scenario}");
+            let mut pooled =
+                simkit::DynPredictor::new(Box::new(tage::TageSystem::isl_tage()));
+            let pooled_r = simulate_source(&mut pooled, &mut spec.stream(), scenario, &cfg);
+            assert_eq!(pooled_r, static_r, "pooled dispatch diverged under {scenario}");
+            // The pool bounds flight allocations by the in-flight depth,
+            // not the branch count.
+            assert!(
+                pooled.flight_allocations() <= cfg.retire_lag as u64 + 1,
+                "pooled route allocated {} flights under {scenario}",
+                pooled.flight_allocations()
+            );
         }
     }
 

@@ -1,0 +1,114 @@
+//! The provider/alternate chooser contract.
+//!
+//! A tagged-geometric provider produces *two* candidate directions per
+//! lookup: the prediction of the longest hitting component (the
+//! *provider*) and the prediction that would have been used on a provider
+//! miss (the *alternate* — the next hitting component, or the base
+//! predictor). Which one steers the pipeline is a policy decision: §3.1
+//! of the paper uses the `USE_ALT_ON_NA` heuristic (trust the alternate
+//! when the provider entry looks newly allocated), but the arbitration
+//! point is exactly where chooser ablations plug in.
+//!
+//! [`Chooser`] is that policy as a trait: a pure decision function over a
+//! [`ChooserView`] plus a retire-time learning hook. Implementations live
+//! with the predictors (see `tage::chooser`); the trait lives here so the
+//! contract is shared infrastructure like [`crate::Predictor`], not a
+//! TAGE implementation detail.
+//!
+//! Two rules keep chooser implementations honest:
+//!
+//! * `choose` must be a **pure read** — predictor state may only move in
+//!   `update` (the simulation engine calls `choose` from both the fetch
+//!   path and retire-time re-reads);
+//! * `update` receives the *retire-time* view (possibly re-read under
+//!   scenarios \[I\]/\[A\]/mispredicted \[C\]), mirroring how the paper's
+//!   `USE_ALT_ON_NA` counter learns from retire-time values.
+
+/// Everything a chooser may consult: the provider/alternate reads of one
+/// lookup, pre-digested so policies stay table-layout agnostic.
+#[derive(Clone, Copy, Debug)]
+pub struct ChooserView {
+    /// Whether a tagged component hit (false: the base predictor provides,
+    /// and `provider_pred == alt_pred`).
+    pub has_provider: bool,
+    /// The providing component's prediction.
+    pub provider_pred: bool,
+    /// The alternate prediction.
+    pub alt_pred: bool,
+    /// Whether the providing counter is weak (±0 on the centered scale) —
+    /// the paper's "newly allocated" signal.
+    pub provider_weak: bool,
+    /// |centered counter| of the providing component (odd, ≥ 1).
+    pub provider_strength: i32,
+    /// |centered counter| of the alternate's source (odd, ≥ 1).
+    pub alt_strength: i32,
+}
+
+/// A provider/alternate arbitration policy.
+pub trait Chooser: Send {
+    /// The spec-grammar token (also the budget-row / report name).
+    fn token(&self) -> &'static str;
+
+    /// Chooser-owned *table* storage in bits. Small control state (the
+    /// paper's single 4-bit `USE_ALT_ON_NA` counter, like the allocation
+    /// tick counter) is excluded — §3.4's 65,408-byte figure counts
+    /// tables only.
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+
+    /// The arbitrated direction for this lookup. Must not mutate state.
+    fn choose(&self, view: &ChooserView) -> bool;
+
+    /// Retire-time learning from the resolved `outcome`. Default: no-op
+    /// (stateless policies).
+    fn update(&mut self, view: &ChooserView, outcome: bool) {
+        let _ = (view, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy majority chooser exercising the trait surface.
+    struct Toy(i8);
+
+    impl Chooser for Toy {
+        fn token(&self) -> &'static str {
+            "toy"
+        }
+
+        fn choose(&self, view: &ChooserView) -> bool {
+            if self.0 >= 0 {
+                view.provider_pred
+            } else {
+                view.alt_pred
+            }
+        }
+
+        fn update(&mut self, view: &ChooserView, outcome: bool) {
+            let delta = if (view.provider_pred == outcome) == (self.0 >= 0) { 1 } else { -1 };
+            self.0 = (self.0 + delta).clamp(-2, 1);
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_storage_free_and_inert() {
+        let mut t = Toy(0);
+        let view = ChooserView {
+            has_provider: true,
+            provider_pred: true,
+            alt_pred: false,
+            provider_weak: false,
+            provider_strength: 7,
+            alt_strength: 1,
+        };
+        assert_eq!(t.storage_bits(), 0);
+        assert!(t.choose(&view));
+        t.update(&view, false);
+        t.update(&view, false);
+        t.update(&view, false);
+        assert!(!t.choose(&view), "toy chooser must learn to flip");
+    }
+}

@@ -9,20 +9,30 @@
 //! path.
 //!
 //! [`BranchPredictor`] is that trait. It mirrors the [`Predictor`]
-//! lifecycle method for method, with the flight erased to a
-//! [`BoxedFlight`]. Every [`Predictor`] is a [`BranchPredictor`] through
-//! the blanket impl below, and a `Box<dyn BranchPredictor>` is itself a
-//! [`Predictor`] (with `Flight = BoxedFlight`), so
-//! `pipeline::simulate_source` drives dynamically composed stacks through
-//! exactly the same engine as static ones — bit-identically, since the
-//! erasure only moves the flight behind one allocation.
+//! lifecycle method for method, with the flight written into a caller
+//! owned [`FlightSlot`] instead of returned by value. A slot is a
+//! type-erased, **reusable** flight container: the first `predict_into`
+//! allocates its backing box, every later reuse of the same slot
+//! overwrites the value in place. [`DynPredictor`] pairs a boxed
+//! predictor with a small slot pool, so steady-state dynamic simulation
+//! performs *zero* per-branch flight allocations — the pool warms up to
+//! the pipeline's in-flight depth and recycles from there.
+//!
+//! Every [`Predictor`] is a [`BranchPredictor`] through the blanket impl
+//! below. A bare `Box<dyn BranchPredictor>` still implements
+//! [`Predictor`] (with `Flight = FlightSlot`) for compatibility, but that
+//! route allocates one slot per predicted branch — the throughput bench
+//! (`isl_tage_boxed_dyn` vs `isl_tage_dyn_pooled`) records the gap.
+//! Dynamic callers (trace mode, registries) should wrap in
+//! [`DynPredictor`]. Both routes are bit-identical to the monomorphized
+//! path: the erasure only moves the flight behind type-erased storage.
 //!
 //! # Example
 //!
 //! ```
-//! use simkit::{BranchInfo, BranchPredictor, UpdateScenario};
+//! use simkit::{BranchInfo, BranchPredictor, DynPredictor, Predictor, UpdateScenario};
 //!
-//! fn run(p: &mut dyn BranchPredictor, stream: &[(u64, bool)]) -> u64 {
+//! fn run<P: Predictor>(p: &mut P, stream: &[(u64, bool)]) -> u64 {
 //!     let mut mispredicts = 0;
 //!     for &(pc, outcome) in stream {
 //!         let b = BranchInfo::conditional(pc);
@@ -34,21 +44,87 @@
 //!     }
 //!     mispredicts
 //! }
+//!
+//! /// A runtime-composed stack drives through the same generic loop,
+//! /// with flights recycled instead of re-boxed per branch.
+//! fn run_dynamic(boxed: Box<dyn BranchPredictor>, stream: &[(u64, bool)]) -> u64 {
+//!     run(&mut DynPredictor::new(boxed), stream)
+//! }
 //! ```
 
 use crate::predictor::{BranchInfo, Predictor, UpdateScenario};
 use crate::stats::AccessStats;
+use std::any::Any;
 
-/// A type-erased in-flight snapshot. The concrete type is the wrapped
-/// predictor's [`Predictor::Flight`]; only that predictor ever downcasts
-/// it back.
-pub type BoxedFlight = Box<dyn std::any::Any + Send>;
+/// A reusable, type-erased in-flight snapshot container.
+///
+/// Internally the slot holds a `Box<Option<F>>` for whatever concrete
+/// flight type `F` last passed through it. Storing a new flight of the
+/// same type overwrites the `Option` in place (no allocation); `take`
+/// moves the value out but keeps the box alive for the next reuse. Only
+/// the predictor that produced a flight ever downcasts it back.
+#[derive(Debug, Default)]
+pub struct FlightSlot {
+    cell: Option<Box<dyn Any + Send>>,
+}
+
+impl FlightSlot {
+    /// A slot with no backing storage yet (first use allocates).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Stores `flight`, reusing the existing allocation when the slot
+    /// already carries storage for this type. Returns `true` when the
+    /// allocation was reused, `false` when a fresh box was needed.
+    pub fn put<F: Send + 'static>(&mut self, flight: F) -> bool {
+        if let Some(cell) = &mut self.cell {
+            if let Some(opt) = cell.downcast_mut::<Option<F>>() {
+                *opt = Some(flight);
+                return true;
+            }
+        }
+        self.cell = Some(Box::new(Some(flight)));
+        false
+    }
+
+    /// Mutable access to the stored flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is empty or holds a different flight type — a
+    /// foreign slot fed back to the wrong predictor is a contract
+    /// violation, never a data error.
+    #[track_caller]
+    pub fn get_mut<F: 'static>(&mut self) -> &mut F {
+        self.cell
+            .as_mut()
+            .and_then(|c| c.downcast_mut::<Option<F>>())
+            .and_then(Option::as_mut)
+            .expect("FlightSlot fed back to a different predictor")
+    }
+
+    /// Moves the stored flight out, leaving the allocation in place for
+    /// reuse by the next [`FlightSlot::put`] of the same type.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FlightSlot::get_mut`].
+    #[track_caller]
+    pub fn take<F: 'static>(&mut self) -> F {
+        self.cell
+            .as_mut()
+            .and_then(|c| c.downcast_mut::<Option<F>>())
+            .and_then(Option::take)
+            .expect("FlightSlot fed back to a different predictor")
+    }
+}
 
 /// Object-safe twin of [`Predictor`]: the same
 /// `predict → fetch_commit → execute → retire` lifecycle, the same
 /// speculative-state rules, the same `storage_bits()` accounting — with
-/// the flight behind a [`BoxedFlight`] so heterogeneous predictors share
-/// one `dyn` type.
+/// the flight living in a caller-owned [`FlightSlot`] so heterogeneous
+/// predictors share one `dyn` type without a per-branch allocation.
 ///
 /// Do not implement this trait directly: implement [`Predictor`] and let
 /// the blanket impl lift it. Direct implementations would bypass the
@@ -60,22 +136,25 @@ pub trait BranchPredictor: Send {
     /// Total predictor storage in bits (tables + side structures).
     fn storage_bits(&self) -> u64;
 
-    /// Fetch-time prediction; see [`Predictor::predict`].
-    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight);
+    /// Fetch-time prediction; the flight is written into `slot`
+    /// (reusing its allocation when possible). See [`Predictor::predict`].
+    fn predict_into(&mut self, b: &BranchInfo, slot: &mut FlightSlot) -> bool;
 
     /// Speculative-history extension; see [`Predictor::fetch_commit`].
-    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight);
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, slot: &mut FlightSlot);
 
     /// Outcome known to the hardware; see [`Predictor::execute`].
-    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight);
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, slot: &mut FlightSlot);
 
-    /// Retire-time table update; see [`Predictor::retire`].
+    /// Retire-time table update. Consumes the flight *value* out of
+    /// `slot`; the slot's allocation survives for recycling. See
+    /// [`Predictor::retire`].
     fn retire(
         &mut self,
         b: &BranchInfo,
         outcome: bool,
         predicted: bool,
-        flight: BoxedFlight,
+        slot: &mut FlightSlot,
         scenario: UpdateScenario,
     );
 
@@ -87,13 +166,6 @@ pub trait BranchPredictor: Send {
 
     /// Clears the access counters (e.g. after warm-up).
     fn reset_stats(&mut self);
-}
-
-/// The flight a foreign caller slipped in was not produced by this
-/// predictor's own `predict` — a contract violation, never a data error.
-#[track_caller]
-fn downcast<F: 'static>(flight: BoxedFlight) -> Box<F> {
-    flight.downcast::<F>().expect("BoxedFlight fed back to a different predictor")
 }
 
 impl<P> BranchPredictor for P
@@ -109,19 +181,18 @@ where
         Predictor::storage_bits(self)
     }
 
-    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight) {
+    fn predict_into(&mut self, b: &BranchInfo, slot: &mut FlightSlot) -> bool {
         let (pred, flight) = Predictor::predict(self, b);
-        (pred, Box::new(flight))
+        slot.put(flight);
+        pred
     }
 
-    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
-        let f = flight.downcast_mut::<P::Flight>().expect("flight from a different predictor");
-        Predictor::fetch_commit(self, b, outcome, f);
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, slot: &mut FlightSlot) {
+        Predictor::fetch_commit(self, b, outcome, slot.get_mut::<P::Flight>());
     }
 
-    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
-        let f = flight.downcast_mut::<P::Flight>().expect("flight from a different predictor");
-        Predictor::execute(self, b, outcome, f);
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, slot: &mut FlightSlot) {
+        Predictor::execute(self, b, outcome, slot.get_mut::<P::Flight>());
     }
 
     fn retire(
@@ -129,10 +200,10 @@ where
         b: &BranchInfo,
         outcome: bool,
         predicted: bool,
-        flight: BoxedFlight,
+        slot: &mut FlightSlot,
         scenario: UpdateScenario,
     ) {
-        Predictor::retire(self, b, outcome, predicted, *downcast::<P::Flight>(flight), scenario);
+        Predictor::retire(self, b, outcome, predicted, slot.take::<P::Flight>(), scenario);
     }
 
     fn note_uncond(&mut self, b: &BranchInfo) {
@@ -148,11 +219,112 @@ where
     }
 }
 
-/// A boxed dynamic predictor is itself a [`Predictor`], so every generic
-/// simulation path (`pipeline::simulate_source`, the suite scheduler)
-/// accepts runtime-composed stacks unchanged.
+/// Upper bound on pooled slots: comfortably above any pipeline's
+/// in-flight depth, small enough that a pool is never a memory concern.
+const POOL_CAP: usize = 512;
+
+/// A boxed dynamic predictor with a recycling flight pool: the arena
+/// route for runtime-composed stacks.
+///
+/// `predict` pops a warm [`FlightSlot`] from the pool (or creates an
+/// empty one); `retire` consumes the flight value and returns the slot —
+/// allocation intact — to the pool. After warm-up (one slot per
+/// simultaneously in-flight branch) the dynamic path performs no
+/// per-branch allocation; [`DynPredictor::flight_allocations`] counts the
+/// fresh boxes actually created, which the tests pin to the in-flight
+/// depth rather than the branch count.
+pub struct DynPredictor {
+    inner: Box<dyn BranchPredictor>,
+    pool: Vec<FlightSlot>,
+    flight_allocations: u64,
+}
+
+impl DynPredictor {
+    /// Wraps a boxed predictor with an empty (lazily warmed) slot pool.
+    pub fn new(inner: Box<dyn BranchPredictor>) -> Self {
+        Self { inner, pool: Vec::new(), flight_allocations: 0 }
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &dyn BranchPredictor {
+        &*self.inner
+    }
+
+    /// Fresh flight boxes allocated so far (steady state: bounded by the
+    /// in-flight depth, not the branch count).
+    pub fn flight_allocations(&self) -> u64 {
+        self.flight_allocations
+    }
+}
+
+impl From<Box<dyn BranchPredictor>> for DynPredictor {
+    fn from(inner: Box<dyn BranchPredictor>) -> Self {
+        Self::new(inner)
+    }
+}
+
+impl Predictor for DynPredictor {
+    type Flight = FlightSlot;
+
+    fn name(&self) -> String {
+        (*self.inner).name()
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (*self.inner).storage_bits()
+    }
+
+    fn predict(&mut self, b: &BranchInfo) -> (bool, FlightSlot) {
+        let mut slot = self.pool.pop().unwrap_or_default();
+        let had_storage = slot.cell.is_some();
+        let pred = (*self.inner).predict_into(b, &mut slot);
+        if !had_storage {
+            self.flight_allocations += 1;
+        }
+        (pred, slot)
+    }
+
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut FlightSlot) {
+        (*self.inner).fetch_commit(b, outcome, flight);
+    }
+
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut FlightSlot) {
+        (*self.inner).execute(b, outcome, flight);
+    }
+
+    fn retire(
+        &mut self,
+        b: &BranchInfo,
+        outcome: bool,
+        predicted: bool,
+        mut flight: FlightSlot,
+        scenario: UpdateScenario,
+    ) {
+        (*self.inner).retire(b, outcome, predicted, &mut flight, scenario);
+        if self.pool.len() < POOL_CAP {
+            self.pool.push(flight);
+        }
+    }
+
+    fn note_uncond(&mut self, b: &BranchInfo) {
+        (*self.inner).note_uncond(b);
+    }
+
+    fn stats(&self) -> AccessStats {
+        (*self.inner).stats()
+    }
+
+    fn reset_stats(&mut self) {
+        (*self.inner).reset_stats();
+    }
+}
+
+/// A bare boxed predictor is itself a [`Predictor`] — the compatibility
+/// route. Each `predict` starts from an empty slot, so this path pays
+/// one flight allocation per predicted branch; wrap in [`DynPredictor`]
+/// to recycle instead.
 impl Predictor for Box<dyn BranchPredictor> {
-    type Flight = BoxedFlight;
+    type Flight = FlightSlot;
 
     fn name(&self) -> String {
         (**self).name()
@@ -162,15 +334,17 @@ impl Predictor for Box<dyn BranchPredictor> {
         (**self).storage_bits()
     }
 
-    fn predict(&mut self, b: &BranchInfo) -> (bool, BoxedFlight) {
-        (**self).predict(b)
+    fn predict(&mut self, b: &BranchInfo) -> (bool, FlightSlot) {
+        let mut slot = FlightSlot::empty();
+        let pred = (**self).predict_into(b, &mut slot);
+        (pred, slot)
     }
 
-    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+    fn fetch_commit(&mut self, b: &BranchInfo, outcome: bool, flight: &mut FlightSlot) {
         (**self).fetch_commit(b, outcome, flight);
     }
 
-    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut BoxedFlight) {
+    fn execute(&mut self, b: &BranchInfo, outcome: bool, flight: &mut FlightSlot) {
         (**self).execute(b, outcome, flight);
     }
 
@@ -179,10 +353,10 @@ impl Predictor for Box<dyn BranchPredictor> {
         b: &BranchInfo,
         outcome: bool,
         predicted: bool,
-        flight: BoxedFlight,
+        mut flight: FlightSlot,
         scenario: UpdateScenario,
     ) {
-        (**self).retire(b, outcome, predicted, flight, scenario);
+        (**self).retire(b, outcome, predicted, &mut flight, scenario);
     }
 
     fn note_uncond(&mut self, b: &BranchInfo) {
@@ -206,6 +380,12 @@ mod tests {
     struct Toy {
         ctr: i8,
         stats: AccessStats,
+    }
+
+    impl Toy {
+        fn new() -> Self {
+            Toy { ctr: 0, stats: AccessStats::default() }
+        }
     }
 
     impl Predictor for Toy {
@@ -262,13 +442,15 @@ mod tests {
         wrong
     }
 
+    fn stream() -> Vec<(u64, bool)> {
+        (0..500u64).map(|i| (0x40 + (i % 3) * 4, i % 7 < 4)).collect()
+    }
+
     #[test]
     fn boxed_dyn_matches_static_bit_for_bit() {
-        let stream: Vec<(u64, bool)> =
-            (0..500u64).map(|i| (0x40 + (i % 3) * 4, i % 7 < 4)).collect();
-        let mut direct = Toy { ctr: 0, stats: AccessStats::default() };
-        let mut boxed: Box<dyn BranchPredictor> =
-            Box::new(Toy { ctr: 0, stats: AccessStats::default() });
+        let stream = stream();
+        let mut direct = Toy::new();
+        let mut boxed: Box<dyn BranchPredictor> = Box::new(Toy::new());
         assert_eq!(drive(&mut direct, &stream), drive(&mut boxed, &stream));
         assert_eq!(Predictor::stats(&direct), Predictor::stats(&boxed));
         assert_eq!(Predictor::name(&boxed), "toy");
@@ -276,12 +458,66 @@ mod tests {
     }
 
     #[test]
+    fn pooled_dyn_matches_static_and_recycles_flights() {
+        let stream = stream();
+        let mut direct = Toy::new();
+        let mut pooled = DynPredictor::new(Box::new(Toy::new()));
+        assert_eq!(drive(&mut direct, &stream), drive(&mut pooled, &stream));
+        assert_eq!(Predictor::stats(&direct), Predictor::stats(&pooled));
+        // Back-to-back lifecycle: exactly one in-flight slot ever needed.
+        assert_eq!(
+            pooled.flight_allocations(),
+            1,
+            "steady-state dynamic prediction must not allocate per branch"
+        );
+        assert_eq!(Predictor::name(&pooled), "toy");
+    }
+
+    #[test]
+    fn pool_bounds_allocations_by_inflight_depth() {
+        // A 16-deep in-flight window: flights are held across 16 further
+        // predictions before retiring. Allocations must track the window
+        // depth, not the branch count.
+        let mut pooled = DynPredictor::new(Box::new(Toy::new()));
+        let mut window: std::collections::VecDeque<(BranchInfo, bool, bool, FlightSlot)> =
+            Default::default();
+        for i in 0..2000u64 {
+            let b = BranchInfo::conditional(0x40 + (i % 5) * 4);
+            let outcome = i % 3 == 0;
+            let (pred, mut f) = pooled.predict(&b);
+            Predictor::fetch_commit(&mut pooled, &b, outcome, &mut f);
+            window.push_back((b, outcome, pred, f));
+            if window.len() > 16 {
+                let (b, outcome, pred, f) = window.pop_front().unwrap();
+                Predictor::retire(&mut pooled, &b, outcome, pred, f, UpdateScenario::FetchOnly);
+            }
+        }
+        assert!(
+            pooled.flight_allocations() <= 17,
+            "allocations {} exceed the in-flight depth",
+            pooled.flight_allocations()
+        );
+    }
+
+    #[test]
+    fn flight_slot_reuses_storage_across_types_correctly() {
+        let mut slot = FlightSlot::empty();
+        assert!(!slot.put(41i8), "first put must allocate");
+        assert!(slot.put(42i8), "same-type put must reuse");
+        assert_eq!(slot.take::<i8>(), 42);
+        assert!(slot.put(43i8), "take keeps the allocation alive");
+        // A different flight type reallocates rather than corrupting.
+        assert!(!slot.put(7u32));
+        assert_eq!(*slot.get_mut::<u32>(), 7);
+    }
+
+    #[test]
     #[should_panic(expected = "different predictor")]
     fn foreign_flight_is_rejected() {
-        let mut boxed: Box<dyn BranchPredictor> =
-            Box::new(Toy { ctr: 0, stats: AccessStats::default() });
+        let mut boxed: Box<dyn BranchPredictor> = Box::new(Toy::new());
         let b = BranchInfo::conditional(0x40);
-        let mut wrong: BoxedFlight = Box::new("not a toy flight");
+        let mut wrong = FlightSlot::empty();
+        wrong.put("not a toy flight");
         BranchPredictor::fetch_commit(&mut *boxed, &b, true, &mut wrong);
     }
 }

@@ -14,9 +14,14 @@
 //!   `predict` → `fetch_commit` → `execute` → `retire`, with an associated
 //!   `Flight` snapshot type that models the information a real pipeline
 //!   propagates alongside each in-flight branch;
-//! * [`dynamic`] — the object-safe [`BranchPredictor`] twin of that trait,
-//!   so runtime-composed predictor stacks (`SystemSpec`-built chains,
-//!   registries, CLI-selected predictors) share one boxable type;
+//! * [`dynamic`] — the object-safe [`BranchPredictor`] twin of that trait
+//!   plus the recycling [`FlightSlot`]/[`DynPredictor`] arena, so
+//!   runtime-composed predictor stacks (`SystemSpec`-built chains,
+//!   registries, CLI-selected predictors) share one boxable type without
+//!   per-branch flight allocation;
+//! * [`chooser`] — the provider/alternate arbitration contract
+//!   ([`Chooser`]) tagged-geometric providers plug their chooser policies
+//!   into;
 //! * [`stats`] — predictor-table access accounting (reads, effective writes,
 //!   silent writes avoided) in the units used by §4 of the paper;
 //! * [`bits`] — tiny bit-manipulation helpers.
@@ -33,6 +38,7 @@
 //! ```
 
 pub mod bits;
+pub mod chooser;
 pub mod counter;
 pub mod dynamic;
 pub mod history;
@@ -41,8 +47,9 @@ pub mod rng;
 pub mod threshold;
 pub mod stats;
 
+pub use chooser::{Chooser, ChooserView};
 pub use counter::{SignedCounter, UnsignedCounter};
-pub use dynamic::{BoxedFlight, BranchPredictor};
+pub use dynamic::{BranchPredictor, DynPredictor, FlightSlot};
 pub use history::{FoldedHistory, GlobalHistory, LocalHistories, PathHistory};
 pub use predictor::{BranchInfo, BranchKind, Predictor, UpdateScenario};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use simkit::counter::{SignedCounter, UnsignedCounter};
 use simkit::history::{FoldedHistory, GlobalHistory, LocalHistories};
 use simkit::{BranchInfo, Predictor, UpdateScenario};
-use tage::{ProviderSpec, SpecError, StageSpec, SystemSpec, TageBase};
+use tage::{BaseChoice, ChooserChoice, ProviderSpec, SpecError, StageSpec, SystemSpec, TageBase};
 use workloads::event::{Trace, TraceEvent};
 
 /// Builds an arbitrary-but-valid [`SystemSpec`] from sampled raw values.
@@ -17,6 +17,8 @@ fn arb_spec(
     h_l1: usize,
     h_span: usize,
     scale: i32,
+    slot_sel: u8,
+    chooser_sel: u8,
     stage_mask: u8,
     reverse_chain: bool,
     ium_pow: u32,
@@ -37,6 +39,16 @@ fn arb_spec(
         base,
         history: hist.then_some((h_l1, h_l1 + h_span)),
         scale,
+        base_slot: match slot_sel {
+            0 => BaseChoice::Bimodal,
+            1 => BaseChoice::TwoBit,
+            _ => BaseChoice::Gshare,
+        },
+        chooser: match chooser_sel {
+            0 => ChooserChoice::AltOnWeak,
+            1 => ChooserChoice::AlwaysProvider,
+            _ => ChooserChoice::Confidence,
+        },
     };
     let mut stages = Vec::new();
     if stage_mask & 1 != 0 {
@@ -72,6 +84,8 @@ proptest! {
         h_l1 in 1usize..10,
         h_span in 1usize..2000,
         scale in -3i32..4,
+        slot_sel in 0u8..3,
+        chooser_sel in 0u8..3,
         stage_mask in 0u8..16,
         reverse_chain in any::<bool>(),
         ium_pow in 4u32..10,
@@ -84,8 +98,9 @@ proptest! {
         label_sel in 0u8..3,
     ) {
         let spec = arb_spec(
-            base_sel, tables, hist, h_l1, h_span, scale, stage_mask, reverse_chain,
-            ium_pow, lsc_2lht, lsc_scale, loop_pow, loop_ways, ilv, reread, label_sel,
+            base_sel, tables, hist, h_l1, h_span, scale, slot_sel, chooser_sel,
+            stage_mask, reverse_chain, ium_pow, lsc_2lht, lsc_scale, loop_pow,
+            loop_ways, ilv, reread, label_sel,
         );
         prop_assert!(spec.validate().is_ok(), "generated spec must be valid: {spec:?}");
         // Serialized form round-trips structurally.
@@ -129,6 +144,83 @@ proptest! {
         // A second provider anywhere in the chain.
         let err = format!("tage+{token}+tage").parse::<SystemSpec>().unwrap_err();
         prop_assert_eq!(err, SpecError::DuplicateProvider);
+    }
+
+    #[test]
+    fn provider_params_reject_ill_formed_combos(
+        key_sel in 0u8..2,
+        val_sel in 0u8..6,
+        dup in any::<bool>(),
+    ) {
+        // Every (key, wrong-domain-or-bogus value) combination is a typed
+        // error: base= only accepts base tokens, chooser= only chooser
+        // tokens, and no key may repeat.
+        let key = ["base", "chooser"][key_sel as usize];
+        let wrong = match (key, val_sel) {
+            // Values from the *other* production's domain.
+            ("base", 0..=2) => ["altweak", "always", "conf"][val_sel as usize],
+            ("chooser", 0..=2) => ["bimodal", "2bc", "gshare"][val_sel as usize],
+            // Bogus and empty values.
+            (_, 3) => "bogus",
+            (_, 4) => "",
+            // A stage token leaking into the provider group.
+            _ => "ium",
+        };
+        let s = format!("tage({key}={wrong})");
+        let err = s.parse::<SystemSpec>().unwrap_err();
+        prop_assert!(
+            matches!(&err, SpecError::BadProviderParam { .. }),
+            "'{}' gave {:?}", s, err
+        );
+        if dup {
+            let good = if key == "base" { "bimodal" } else { "altweak" };
+            let s = format!("tage({key}={good},{key}={good})");
+            let err = s.parse::<SystemSpec>().unwrap_err();
+            prop_assert!(matches!(&err, SpecError::BadProviderParam { .. }), "got {err:?}");
+        }
+    }
+
+    #[test]
+    fn decomposed_default_provider_is_bit_identical_to_canonical(
+        stage_mask in 0u8..16,
+        reverse_chain in any::<bool>(),
+        scale in -2i32..1,
+        pcs in proptest::collection::vec(1u64..1 << 14, 50..300),
+        outcomes in proptest::collection::vec(any::<bool>(), 300),
+    ) {
+        // A random spec with the provider-internal defaults written out
+        // explicitly must canonicalize onto — and predict bit-for-bit
+        // like — the undecorated spec: the decomposed provider path *is*
+        // the fused path when the default sub-stages are selected.
+        let mut spec = arb_spec(
+            0, 4, false, 3, 100, scale, 0, 0, stage_mask, reverse_chain,
+            6, false, 0, 4, 2, false, false, 0,
+        );
+        spec.provider.base_slot = BaseChoice::Bimodal;
+        spec.provider.chooser = ChooserChoice::AltOnWeak;
+        let canonical = spec.to_string();
+        prop_assert!(!canonical.contains('('), "defaults must canonicalize away: {canonical}");
+        let explicit: SystemSpec = canonical
+            .replacen("tage", "tage(base=bimodal,chooser=altweak)", 1)
+            .parse()
+            .unwrap();
+        prop_assert_eq!(&spec, &explicit);
+        let mut a = spec.build().unwrap();
+        let mut b = explicit.build().unwrap();
+        for (i, pc) in pcs.iter().enumerate() {
+            let br = BranchInfo::conditional(pc << 2);
+            let outcome = outcomes[i % outcomes.len()];
+            let (pa, mut fa) = a.predict(&br);
+            let (pb, mut fb) = b.predict(&br);
+            prop_assert_eq!(pa, pb, "prediction diverged at branch {}", i);
+            a.fetch_commit(&br, outcome, &mut fa);
+            b.fetch_commit(&br, outcome, &mut fb);
+            a.execute(&br, outcome, &mut fa);
+            b.execute(&br, outcome, &mut fb);
+            a.retire(&br, outcome, pa, fa, UpdateScenario::RereadOnMispredict);
+            b.retire(&br, outcome, pb, fb, UpdateScenario::RereadOnMispredict);
+        }
+        prop_assert_eq!(a.stats(), b.stats());
     }
 
     #[test]
