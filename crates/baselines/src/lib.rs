@@ -18,6 +18,8 @@
 //! for the §4.1.2 delayed-update scenarios `[I]/[A]/[B]/[C]` and access
 //! accounting with silent-update elimination.
 
+#![forbid(unsafe_code)]
+
 pub mod bimodal;
 pub mod ftl;
 pub mod gehl;

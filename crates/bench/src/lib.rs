@@ -7,6 +7,8 @@
 //!   running a scaled-down (Tiny) version of the experiment kernel so
 //!   `cargo bench` exercises every experiment code path.
 
+#![forbid(unsafe_code)]
+
 use pipeline::{simulate, PipelineConfig, SimReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use workloads::suite::{by_name, Scale};
@@ -14,6 +16,8 @@ use workloads::Trace;
 
 /// A small fixed trace for microbenchmarks.
 pub fn bench_trace(name: &str) -> Trace {
+    // INVARIANT: bench fixtures name suite members only; an unknown name
+    // is a bench-code bug, failing at startup.
     by_name(name, Scale::Tiny).expect("known trace").generate()
 }
 
@@ -27,7 +31,7 @@ pub fn run_once<P: Predictor>(p: &mut P, trace: &Trace, scenario: UpdateScenario
 /// simulation, no materialized `Vec<TraceEvent>`): the streaming-path
 /// counterpart of [`run_once`].
 pub fn run_streamed<P: Predictor>(p: &mut P, name: &str, scenario: UpdateScenario) -> SimReport {
-    let spec = by_name(name, Scale::Tiny).expect("known trace");
+    let spec = by_name(name, Scale::Tiny).expect("known trace"); // INVARIANT: see bench_trace
     pipeline::simulate_source(p, &mut spec.stream(), scenario, &PipelineConfig::default())
 }
 

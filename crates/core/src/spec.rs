@@ -337,6 +337,8 @@ impl SystemSpec {
         PRESETS
             .iter()
             .find(|(n, _)| *n == name)
+            // INVARIANT: PRESETS is a static table; every row's parse is
+            // asserted by the preset round-trip tests.
             .map(|(_, spec)| spec.parse().expect("preset specs are valid"))
     }
 }
@@ -537,6 +539,8 @@ impl FromStr for SystemSpec {
                 _ if flag.starts_with("as=") => {
                     spec.label = Some(flag["as=".len()..].to_string());
                 }
+                // WILDCARD: open input domain — unknown user-written
+                // flags map to a typed error, not to our own enums.
                 _ => return Err(SpecError::UnknownToken { token: format!("/{flag}") }),
             }
         }
@@ -592,6 +596,8 @@ fn parse_provider_params(inner: &str, provider: &mut ProviderSpec) -> Result<(),
                     }
                 })?;
             }
+            // WILDCARD: open input domain — unknown provider-param keys
+            // become typed errors.
             _ => {
                 return Err(SpecError::BadProviderParam {
                     param: kv.to_string(),
@@ -710,6 +716,8 @@ fn parse_stage(seg: &str) -> Result<StageSpec, SpecError> {
             };
             StageSpec::Loop { entries, ways }
         }
+        // WILDCARD: open input domain — unknown stage tokens become
+        // typed errors.
         _ => return Err(SpecError::UnknownToken { token: head.to_string() }),
     };
     if let Some(extra) = opts.next() {

@@ -334,6 +334,7 @@ impl PredictorStack {
     pub fn ium_overrides(&self) -> Option<u64> {
         self.stage(StageKind::Ium).map(|s| match s {
             SideStage::Ium(i) => i.override_count(),
+            // INVARIANT: stage(kind) returns the stage of that kind.
             _ => unreachable!(),
         })
     }
@@ -344,6 +345,7 @@ impl PredictorStack {
             self.stage(kind).map(|s| match s {
                 SideStage::Gsc(g) => g.revert_count(),
                 SideStage::Lsc(l) => l.revert_count(),
+                // INVARIANT: only queried with corrector kinds.
                 _ => unreachable!(),
             })
         };
@@ -500,6 +502,8 @@ impl Predictor for PredictorStack {
                         *used && flight.final_pred == outcome && *pre_pred != outcome;
                     lp.retire_update(b.pc, outcome, allocate, useful);
                 }
+                // INVARIANT: predict built one flight entry per stage in
+                // declaration order; retire walks the same chain.
                 _ => unreachable!("stage/flight chain mismatch"),
             }
         }

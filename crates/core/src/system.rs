@@ -24,10 +24,12 @@ pub type TageSystem = PredictorStack;
 pub type SystemFlight = crate::stack::StackFlight;
 
 fn preset(name: &str) -> PredictorStack {
+    // INVARIANT: only called with names out of the PRESETS table below
+    // (every row of which parses and builds, asserted by spec tests).
     SystemSpec::preset(name)
-        .unwrap_or_else(|| panic!("unknown preset '{name}'"))
+        .unwrap_or_else(|| panic!("unknown preset '{name}'")) // INVARIANT: see above
         .build()
-        .expect("presets build")
+        .expect("presets build") // INVARIANT: see above
 }
 
 impl PredictorStack {
@@ -74,11 +76,14 @@ impl PredictorStack {
     /// A scaled plain TAGE for the Figure 9 sweep (`delta` in powers of
     /// two relative to the 512 Kbit reference).
     pub fn scaled_tage(delta: i32) -> Self {
+        // INVARIANT: scaling a valid preset's geometry keeps it valid
+        // (asserted across the Figure 9 delta range in spec tests).
         SystemSpec::scaled_tage(delta).build().expect("scaled preset builds")
     }
 
     /// A scaled TAGE-LSC for the Figure 9 sweep.
     pub fn scaled_tage_lsc(delta: i32) -> Self {
+        // INVARIANT: same as scaled_tage — covered by the Fig. 9 tests.
         SystemSpec::scaled_tage_lsc(delta).build().expect("scaled preset builds")
     }
 }
@@ -88,7 +93,7 @@ impl SystemSpec {
     /// reference spec, so the delta-0 sweep point shares its memo label
     /// and cached suite).
     pub fn scaled_tage(delta: i32) -> Self {
-        let mut spec = SystemSpec::preset("tage").expect("preset");
+        let mut spec = SystemSpec::preset("tage").expect("preset"); // INVARIANT: literal PRESETS row
         spec.provider.scale = delta;
         spec
     }
@@ -96,7 +101,7 @@ impl SystemSpec {
     /// The Figure 9 scaled TAGE-LSC spec (TAGE core and LSC scale
     /// together, as in §7.1).
     pub fn scaled_tage_lsc(delta: i32) -> Self {
-        let mut spec = SystemSpec::preset("tage-lsc").expect("preset");
+        let mut spec = SystemSpec::preset("tage-lsc").expect("preset"); // INVARIANT: literal PRESETS row
         spec.provider.scale = delta;
         for stage in &mut spec.stages {
             if let crate::spec::StageSpec::Lsc { scale, .. } = stage {

@@ -125,6 +125,10 @@ impl TaggedTable {
     /// prefetching all components up front lets those misses overlap
     /// instead of serializing. Purely a performance hint — never changes
     /// results.
+    // SAFETY: the one sanctioned unsafe in the workspace — see the audit
+    // on the block below. Scoped allow under the crate-level
+    // `#![deny(unsafe_code)]`; any new unsafe elsewhere fails the build.
+    #[allow(unsafe_code)]
     #[inline]
     pub fn prefetch(&self, index: usize) {
         #[cfg(target_arch = "x86_64")]

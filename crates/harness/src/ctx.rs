@@ -60,6 +60,8 @@ macro_rules! dispatch_spec {
         match $spec {
             PredictorSpec::Stack(s) => {
                 let s = s.clone();
+                // INVARIANT: every spec reaching dispatch parsed and
+                // validated in PredictorSpec::parse.
                 $self.$method($label, move || s.build().expect("spec validated upstream"), $scenario)
             }
             PredictorSpec::Gshare { index_bits: None } => {
@@ -183,6 +185,8 @@ impl ExpContext {
                         .collect();
                     handles
                         .into_iter()
+                        // INVARIANT: re-raises a worker panic on the
+                        // caller; never an expected error path.
                         .flat_map(|h| h.join().expect("stats worker panicked"))
                         .collect()
                 })

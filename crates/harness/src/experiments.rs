@@ -79,6 +79,8 @@ pub struct Run {
 
 impl Run {
     fn new(spec: &str, scenario: UpdateScenario) -> Self {
+        // INVARIANT: run-table specs are static experiment data; the
+        // registry test parses every row, so a bad entry never ships.
         let spec = PredictorSpec::parse(spec)
             .unwrap_or_else(|e| panic!("experiment table spec '{spec}': {e}"));
         Self { spec, scenario }
@@ -304,6 +306,7 @@ fn scaled_tage_lsc_spec(delta: i32) -> String {
 /// Storage of a spec string, in bits (run tables are validated at
 /// construction, so this cannot fail for table entries).
 fn spec_bits(spec: &str) -> u64 {
+    // INVARIANT: same static run-table data as Run::new above.
     PredictorSpec::parse(spec).and_then(|s| s.storage_bits()).expect("experiment table spec")
 }
 
@@ -377,6 +380,7 @@ fn e01_fig3(_ctx: &ExpContext, _reports: &[SuiteReport], out: &mut String) {
             } else {
                 inflight.push_back((pred, f, i + lag));
                 while inflight.front().is_some_and(|(_, _, at)| *at <= i) {
+                    // INVARIANT: the loop condition just witnessed a front.
                     let (pred, f, _) = inflight.pop_front().unwrap();
                     p.retire(&b, true, pred, f, scenario);
                 }

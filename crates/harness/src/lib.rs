@@ -7,6 +7,8 @@
 //! `scenarios`, `interleave`, `ium`, `loop`, `sc`, `isl`, `lsc`,
 //! `ablation`, `fig9`, `fig10`, `cost-eff`) or `all`.
 
+#![forbid(unsafe_code)]
+
 pub mod ctx;
 pub mod experiments;
 pub mod runner;

@@ -31,6 +31,15 @@ use workloads::{Trace, TraceSpec};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Locks `m`, treating poisoning as fatal.
+// INVARIANT: a poisoned lock means another thread panicked *while holding
+// it* — pool jobs run under `catch_unwind` (see `Batch::run`), so poison
+// here implies the scheduler's own bookkeeping already blew up;
+// propagating the panic is the fail-loud response, never an error path.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap() // INVARIANT: see above — poison propagates the original panic.
+}
+
 struct PoolShared {
     /// Per-worker job deques; workers pop their own front and steal from
     /// peers' backs.
@@ -44,13 +53,13 @@ struct PoolShared {
 impl PoolShared {
     fn grab(&self, home: usize) -> Option<Job> {
         // Own queue first (front: submission order)...
-        if let Some(j) = self.queues[home].lock().unwrap().pop_front() {
+        if let Some(j) = locked(&self.queues[home]).pop_front() {
             return Some(j);
         }
         // ...then steal from peers (back: the work they'd reach last).
         let n = self.queues.len();
         for d in 1..n {
-            if let Some(j) = self.queues[(home + d) % n].lock().unwrap().pop_back() {
+            if let Some(j) = locked(&self.queues[(home + d) % n]).pop_back() {
                 return Some(j);
             }
         }
@@ -95,7 +104,7 @@ impl WorkerPool {
                         // this second look is guaranteed to find us
                         // already waiting (the timeout is belt and
                         // braces, not load-bearing).
-                        let guard = shared.idle.lock().unwrap();
+                        let guard = locked(&shared.idle);
                         if let Some(job) = shared.grab(home) {
                             drop(guard);
                             job();
@@ -107,8 +116,14 @@ impl WorkerPool {
                         let _unused = shared
                             .wake
                             .wait_timeout(guard, std::time::Duration::from_millis(50))
+                            // INVARIANT: the idle mutex guards no data;
+                            // poison (see `locked`) propagates a panic
+                            // that already killed the run.
                             .unwrap();
                     })
+                    // INVARIANT: thread spawn fails only on resource
+                    // exhaustion at startup; no pool is better than a
+                    // silently smaller one.
                     .expect("failed to spawn suite worker")
             })
             .collect();
@@ -122,9 +137,12 @@ impl WorkerPool {
 
     /// Enqueues a job on the next worker's deque (round-robin).
     pub fn submit(&self, job: Job) {
+        // ORDERING: round-robin placement hint only — any interleaving of
+        // the counter is correct, and job visibility is carried by the
+        // queue mutex, not this index.
         let i = self.next.fetch_add(1, Ordering::Relaxed) as usize % self.shared.queues.len();
-        self.shared.queues[i].lock().unwrap().push_back(job);
-        let _guard = self.shared.idle.lock().unwrap();
+        locked(&self.shared.queues[i]).push_back(job);
+        let _guard = locked(&self.shared.idle);
         self.shared.wake.notify_all();
     }
 }
@@ -133,7 +151,7 @@ impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::Release);
         {
-            let _guard = self.shared.idle.lock().unwrap();
+            let _guard = locked(&self.shared.idle);
             self.shared.wake.notify_all();
         }
         for w in self.workers.drain(..) {
@@ -172,7 +190,7 @@ impl<T> Batch<T> {
     /// Runs `job` for slot `index`, recording its result or its panic.
     fn run(&self, index: usize, job: impl FnOnce() -> T) {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-        let mut s = self.state.lock().unwrap();
+        let mut s = locked(&self.state);
         match result {
             Ok(value) => {
                 debug_assert!(s.slots[index].is_none(), "slot {index} completed twice");
@@ -189,14 +207,18 @@ impl<T> Batch<T> {
     /// Blocks until every job finished, returning results in submission
     /// order. Re-raises the first recorded job panic.
     fn wait(&self) -> Vec<T> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = locked(&self.state);
         while s.remaining > 0 && s.panic.is_none() {
+            // INVARIANT: see `locked` — a poisoned batch mutex
+            // re-raises the panic that poisoned it.
             s = self.done.wait(s).unwrap();
         }
         if let Some(payload) = s.panic.take() {
             drop(s);
             std::panic::resume_unwind(payload);
         }
+        // INVARIANT: `remaining == 0` with no recorded panic means every
+        // slot was filled exactly once by `Batch::run`.
         s.slots.drain(..).map(|v| v.expect("batch slot unfilled")).collect()
     }
 }
@@ -251,9 +273,12 @@ impl SuiteRunner {
     /// Counter snapshot.
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats {
-            sim_jobs_run: self.sim_jobs_run.load(Ordering::Relaxed),
-            sim_jobs_requested: self.sim_jobs_requested.load(Ordering::Relaxed),
-            suite_memo_hits: self.suite_memo_hits.load(Ordering::Relaxed),
+            // ORDERING: monotonic statistics counters read after the suite
+            // waits that produced them; no decision is taken on a racy
+            // read, so relaxed loads suffice (×3 below).
+            sim_jobs_run: self.sim_jobs_run.load(Ordering::Relaxed), // ORDERING: see above
+            sim_jobs_requested: self.sim_jobs_requested.load(Ordering::Relaxed), // ORDERING: see above
+            suite_memo_hits: self.suite_memo_hits.load(Ordering::Relaxed), // ORDERING: see above
         }
     }
 
@@ -271,8 +296,10 @@ impl SuiteRunner {
         F: Fn() -> P + Send + Sync + 'static,
     {
         let n = traces.len();
-        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed);
-        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed);
+        // ORDERING: statistics only (see `stats`); the jobs themselves
+        // synchronize through the queue mutex and batch condvar.
+        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed); // ORDERING: see above
+        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed); // ORDERING: see above
         let make = Arc::new(make);
         let batch = Batch::new(n);
         for i in 0..n {
@@ -337,8 +364,10 @@ impl SuiteRunner {
         F: Fn() -> P + Send + Sync + 'static,
     {
         let n = specs.len();
-        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed);
-        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed);
+        // ORDERING: statistics only (see `stats`); the jobs themselves
+        // synchronize through the queue mutex and batch condvar.
+        self.sim_jobs_requested.fetch_add(n as u64, Ordering::Relaxed); // ORDERING: see above
+        self.sim_jobs_run.fetch_add(n as u64, Ordering::Relaxed); // ORDERING: see above
         let make = Arc::new(make);
         let batch = Batch::new(n);
         for i in 0..n {
@@ -374,21 +403,23 @@ impl SuiteRunner {
         compute: impl FnOnce() -> SuiteReport,
     ) -> SuiteReport {
         let key = (label.to_string(), scenario, cfg.fingerprint());
-        if let Some(hit) = self.cache.lock().unwrap().get(&key) {
-            self.suite_memo_hits.fetch_add(1, Ordering::Relaxed);
-            self.sim_jobs_requested.fetch_add(n_jobs as u64, Ordering::Relaxed);
+        if let Some(hit) = locked(&self.cache).get(&key) {
+            // ORDERING: statistics only (see `stats`); the memo hit itself
+            // is protected by the cache mutex.
+            self.suite_memo_hits.fetch_add(1, Ordering::Relaxed); // ORDERING: see above
+            self.sim_jobs_requested.fetch_add(n_jobs as u64, Ordering::Relaxed); // ORDERING: see above
             return hit.clone();
         }
         // A prefetched suite already runs (and was counted) on the pool:
         // wait for it and promote it into the memo cache. The jobs were
         // requested when the prefetch submitted them, so nothing is
         // double-counted here.
-        let prefetched = self.pending.lock().unwrap().remove(&key);
+        let prefetched = locked(&self.pending).remove(&key);
         let report = match prefetched {
             Some(batch) => SuiteReport::new(batch.wait()),
             None => compute(),
         };
-        self.cache.lock().unwrap().insert(key, report.clone());
+        locked(&self.cache).insert(key, report.clone());
         report
     }
 
@@ -405,10 +436,10 @@ impl SuiteRunner {
         submit: impl FnOnce() -> Arc<Batch<SimReport>>,
     ) {
         let key = (label.to_string(), scenario, cfg.fingerprint());
-        if self.cache.lock().unwrap().contains_key(&key) {
+        if locked(&self.cache).contains_key(&key) {
             return;
         }
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = locked(&self.pending);
         if pending.contains_key(&key) {
             return;
         }

@@ -76,6 +76,8 @@ fn run_cell(
     src: &mut Box<dyn TraceDecoder + Send>,
     cfg: &PipelineConfig,
 ) -> io::Result<pipeline::SimReport> {
+    // INVARIANT: MATRIX specs are compile-time constants, parse-checked
+    // by the registry tests before any trace is opened.
     let mut predictor = simkit::DynPredictor::new(spec.build().expect("matrix specs are valid"));
     let r = simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg);
     // A decoder that hit corrupt bytes ends its stream early; surface
@@ -111,6 +113,8 @@ where
         .clamp(1, cells.max(1));
     let specs: Vec<PredictorSpec> = MATRIX
         .iter()
+        // INVARIANT: MATRIX is a static table; a bad entry is a bug the
+        // registry tests catch, not an input error.
         .map(|(_, spec)| PredictorSpec::parse(spec).expect("matrix specs parse"))
         .collect();
     let slots: Vec<Mutex<Option<io::Result<pipeline::SimReport>>>> =
@@ -119,6 +123,9 @@ where
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
+                // ORDERING: work-claim ticket only — each worker takes a
+                // distinct cell index; result visibility rides the slot
+                // mutex and scope join, not this counter.
                 let cell = next.fetch_add(1, Ordering::Relaxed);
                 if cell >= cells {
                     return;
@@ -126,6 +133,9 @@ where
                 let (predictor, source) = (cell / n, cell % n);
                 let result =
                     open(source).and_then(|mut src| run_cell(&specs[predictor], &mut src, cfg));
+                // INVARIANT: slot mutexes are uncontended by construction
+                // (each cell index is claimed once); poison would mean a
+                // sibling worker already panicked — propagate it.
                 *slots[cell].lock().unwrap() = Some(result);
             });
         }
@@ -137,6 +147,8 @@ where
             let reports: io::Result<Vec<_>> = slots
                 .by_ref()
                 .take(n)
+                // INVARIANT: the thread scope joined every worker, so each
+                // claimed cell stored exactly one result.
                 .map(|slot| slot.into_inner().unwrap().expect("matrix cell unfilled"))
                 .collect();
             Ok((*name, SuiteReport::new(reports?)))

@@ -1,0 +1,64 @@
+//! Lint configuration: which files are walked and which policies bind
+//! where. The default configuration *is* this workspace's policy; tests
+//! build custom configurations to lint fixture trees.
+
+use std::path::PathBuf;
+
+/// Configuration for one lint run.
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Workspace root (the directory holding `crates/` and `src/`).
+    pub root: PathBuf,
+    /// Crate directories (under `crates/`) allowed to contain `unsafe`
+    /// code. These must declare `#![deny(unsafe_code)]` with audited,
+    /// `SAFETY:`-justified local allows; every other crate must declare
+    /// `#![forbid(unsafe_code)]`.
+    pub unsafe_allowed_crates: Vec<String>,
+    /// Workspace-relative files under the exhaustiveness guard: `_ =>`
+    /// match arms are denied there unless justified with `// WILDCARD:`.
+    /// These are the fingerprint/codec/spec modules where a silently
+    /// swallowed new enum variant reopens a stale-data hazard.
+    pub wildcard_guarded_files: Vec<String>,
+    /// The file holding `enum SpecError` and the `PRESETS` table.
+    pub spec_file: String,
+    /// Documentation files that must mention every `SpecError` variant
+    /// and every `PRESETS` row (doc-sync).
+    pub doc_files: Vec<String>,
+}
+
+impl LintConfig {
+    /// The policy for this repository, rooted at `root`.
+    pub fn for_workspace(root: PathBuf) -> Self {
+        Self {
+            root,
+            // tage-core hosts the single audited unsafe prefetch hint.
+            unsafe_allowed_crates: vec!["core".to_string()],
+            wildcard_guarded_files: [
+                // Trace-cache fingerprint coverage (the PR-3 stale-cache fix).
+                "crates/workloads/src/io.rs",
+                "crates/workloads/src/behavior.rs",
+                // Codec kind/type mappings: a new BranchKind must map, not fall through.
+                "crates/traces/src/codec.rs",
+                "crates/traces/src/decoder.rs",
+                "crates/traces/src/ttr.rs",
+                "crates/traces/src/cbp.rs",
+                "crates/traces/src/csv.rs",
+                // The spec grammar: every token/stage/param must be handled by name.
+                "crates/core/src/spec.rs",
+            ]
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+            spec_file: "crates/core/src/spec.rs".to_string(),
+            doc_files: vec!["DESIGN.md".to_string(), "EXPERIMENTS.md".to_string()],
+        }
+    }
+
+    /// True when `rel_path` names a binary-target source (`src/bin/…` or
+    /// `src/main.rs`): CLI entry points are exempt from the panic policy
+    /// (a `panic!`/`expect` there aborts one invocation with a message,
+    /// not a library caller).
+    pub fn is_bin_source(rel_path: &str) -> bool {
+        rel_path.contains("/src/bin/") || rel_path.ends_with("/src/main.rs")
+    }
+}

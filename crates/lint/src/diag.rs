@@ -1,0 +1,154 @@
+//! Structured diagnostics and the machine-readable JSON report.
+
+use std::fmt;
+
+/// How a finding gates the build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but only fails the run under `--deny-all`.
+    Advice,
+    /// Always fails the run.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name (JSON field value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One finding: a pass, a location, and what the policy requires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The pass that produced the finding.
+    pub pass: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Effective severity after `--deny-all` promotion.
+    pub severity: Severity,
+    /// What is wrong and how to satisfy the policy.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}: {}",
+            self.file,
+            self.line,
+            self.severity.as_str(),
+            self.pass,
+            self.message
+        )
+    }
+}
+
+/// The result of a full `check` run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// All findings, sorted by (file, line, pass).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub files_scanned: usize,
+    /// (pass name, finding count) for every registered pass, in registry
+    /// order — zero-count passes are listed so the report proves they ran.
+    pub pass_counts: Vec<(&'static str, usize)>,
+}
+
+impl Report {
+    /// True when no finding denies the build.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.iter().all(|d| d.severity != Severity::Deny)
+    }
+
+    /// Renders the machine-readable JSON report (hand-rolled writer: the
+    /// lint is dependency-free by design).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"tage_lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"deny_findings\": {},\n",
+            self.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count()
+        ));
+        out.push_str("  \"passes\": [");
+        for (i, (name, count)) in self.pass_counts.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{{\"name\": {}, \"findings\": {}}}", json_str(name), count));
+        }
+        out.push_str("],\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"pass\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \"message\": {}}}{}\n",
+                json_str(d.pass),
+                json_str(&d.file),
+                d.line,
+                json_str(d.severity.as_str()),
+                json_str(&d.message),
+                if i + 1 < self.diagnostics.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), r#""\u0001""#);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = Report {
+            diagnostics: vec![Diagnostic {
+                pass: "panic-policy",
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                severity: Severity::Deny,
+                message: "no \"unwrap\" here".into(),
+            }],
+            files_scanned: 2,
+            pass_counts: vec![("panic-policy", 1), ("doc-sync", 0)],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"files_scanned\": 2"));
+        assert!(j.contains("\"deny_findings\": 1"));
+        assert!(j.contains(r#"{"name": "doc-sync", "findings": 0}"#));
+        assert!(j.contains(r#"\"unwrap\""#));
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,62 @@
+//! The pass driver: load the workspace, run the registry, aggregate a
+//! [`Report`].
+
+use crate::config::LintConfig;
+use crate::diag::{Report, Severity};
+use crate::passes::{registry, LintContext};
+use crate::walk::load_workspace;
+use std::io;
+
+/// Runs every registered pass over the workspace `config` describes.
+/// With `deny_all`, advisory findings are promoted to denials (the CI
+/// gate mode).
+pub fn run_check(config: LintConfig, deny_all: bool) -> io::Result<Report> {
+    let files = load_workspace(&config)?;
+    let files_scanned = files.len();
+    let ctx = LintContext { config, files };
+    let mut diagnostics = Vec::new();
+    let mut pass_counts = Vec::new();
+    for pass in registry() {
+        let mut found = pass.run(&ctx);
+        if deny_all {
+            for d in &mut found {
+                d.severity = Severity::Deny;
+            }
+        }
+        pass_counts.push((pass.name(), found.len()));
+        diagnostics.extend(found);
+    }
+    diagnostics.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    Ok(Report { diagnostics, files_scanned, pass_counts })
+}
+
+/// Renders the human-readable `check` output.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let denied = report.diagnostics.iter().filter(|d| d.severity == Severity::Deny).count();
+    let advisory = report.diagnostics.len() - denied;
+    out.push_str(&format!(
+        "tage_lint: {} files scanned, {} passes, {denied} denial(s), {advisory} advisory\n",
+        report.files_scanned,
+        report.pass_counts.len(),
+    ));
+    out
+}
+
+/// Renders the `list` output: one row per registered pass.
+pub fn render_pass_list() -> String {
+    let mut out = String::new();
+    for pass in registry() {
+        out.push_str(&format!(
+            "{:<22} [{}]  {}\n",
+            pass.name(),
+            pass.default_severity().as_str(),
+            pass.description()
+        ));
+    }
+    out
+}

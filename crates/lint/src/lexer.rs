@@ -1,0 +1,353 @@
+//! A lightweight, comment/string-aware Rust tokenizer.
+//!
+//! The container is offline, so the lint cannot lean on `syn`; instead a
+//! hand-rolled state machine classifies every byte of a source file as
+//! *code*, *comment text*, or *string/char-literal content*, producing a
+//! per-line [`LineView`]:
+//!
+//! * `code` — the line with comment text removed and literal contents
+//!   blanked (delimiters kept), so passes can substring-match keywords
+//!   and call patterns without false positives from prose;
+//! * `comment` — the concatenated comment text on the line, where the
+//!   justification grammar (`SAFETY:`, `INVARIANT:`, `ORDERING:`,
+//!   `WILDCARD:`) lives;
+//! * `strings` — the contents of string literals *starting* on the line
+//!   (the doc-sync pass reads `PRESETS` names from these);
+//! * `in_test` — whether the line sits inside a `#[cfg(test)]` /
+//!   `#[test]` item, tracked by brace depth over the stripped code.
+//!
+//! Known limits (documented in DESIGN.md): lexing is line-oriented and
+//! token-free — passes match substrings of stripped code, so aliased
+//! imports (`use Ordering::Relaxed as R`) or macro-generated code can
+//! evade a pass. That is acceptable for a policy lint over our own
+//! conventions; it is not a soundness tool.
+
+/// One classified source line.
+#[derive(Clone, Debug, Default)]
+pub struct LineView {
+    /// Source text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line (markers stripped).
+    pub comment: String,
+    /// Contents of string literals starting on this line.
+    pub strings: Vec<String>,
+    /// True when the line is inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// A classified source file with a workspace-relative path.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// Classified lines, 0-indexed (diagnostics add 1).
+    pub lines: Vec<LineView>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Classifies `source` into per-line views.
+pub fn classify(rel_path: &str, source: &str) -> SourceFile {
+    let mut lines: Vec<LineView> = Vec::new();
+    let mut state = State::Code;
+    let mut current_string = String::new();
+    // Line index where the in-progress string literal opened; multi-line
+    // literals attribute their full content to that line.
+    let mut string_start: Option<usize> = None;
+    for raw_line in source.lines() {
+        let mut view = LineView::default();
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        // A line comment never survives a newline.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => {
+                    if c == '/' && next == Some('/') {
+                        state = State::LineComment;
+                        i += 2;
+                        // Skip any further comment markers and one space:
+                        // `/// text`, `//! text`, `// text` all yield "text".
+                        while i < chars.len() && (chars[i] == '/' || chars[i] == '!') {
+                            i += 1;
+                        }
+                        continue;
+                    }
+                    if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == '"' {
+                        state = State::Str;
+                        view.code.push('"');
+                        current_string.clear();
+                        string_start = Some(lines.len());
+                        i += 1;
+                        continue;
+                    }
+                    // Raw (and raw-byte) strings: r"..." / r#"..."# / br#"..."#.
+                    if (c == 'r' || (c == 'b' && next == Some('r')))
+                        && !prev_is_ident(&view.code)
+                    {
+                        let start = if c == 'b' { i + 2 } else { i + 1 };
+                        let mut hashes = 0u32;
+                        let mut j = start;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            view.code.extend(&chars[i..=j]);
+                            current_string.clear();
+                            string_start = Some(lines.len());
+                            state = State::RawStr(hashes);
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // Lifetime (`'a`, `'static`) vs char literal
+                        // (`'a'`, `'\n'`): a lifetime is a quote followed
+                        // by an identifier NOT closed by another quote.
+                        let is_lifetime = matches!(next, Some(n) if n.is_alphabetic() || n == '_')
+                            && chars.get(i + 2) != Some(&'\'');
+                        view.code.push('\'');
+                        i += 1;
+                        if !is_lifetime {
+                            state = State::Char;
+                        }
+                        continue;
+                    }
+                    view.code.push(c);
+                    i += 1;
+                }
+                State::LineComment => {
+                    view.comment.push(c);
+                    i += 1;
+                }
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        view.comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if c == '\\' {
+                        current_string.push(c);
+                        if let Some(n) = next {
+                            current_string.push(n);
+                        }
+                        i += 2;
+                    } else if c == '"' {
+                        view.code.push('"');
+                        finish_string(&mut lines, &mut view, &mut string_start, &mut current_string);
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        current_string.push(c);
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    if c == '"' && raw_close(&chars, i, hashes) {
+                        view.code.push('"');
+                        for _ in 0..hashes {
+                            view.code.push('#');
+                        }
+                        finish_string(&mut lines, &mut view, &mut string_start, &mut current_string);
+                        state = State::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        current_string.push(c);
+                        i += 1;
+                    }
+                }
+                State::Char => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '\'' {
+                        view.code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Multi-line string literals attribute their content to the line
+        // they started on; keep accumulating across the newline.
+        if matches!(state, State::Str | State::RawStr(_)) {
+            current_string.push('\n');
+        }
+        lines.push(view);
+    }
+    mark_test_regions(&mut lines);
+    SourceFile { rel_path: rel_path.to_string(), lines }
+}
+
+/// Records a completed string literal on the line it opened on: the
+/// current line unless the literal spanned a newline.
+fn finish_string(
+    lines: &mut [LineView],
+    view: &mut LineView,
+    start: &mut Option<usize>,
+    content: &mut String,
+) {
+    let s = std::mem::take(content);
+    match start.take() {
+        Some(idx) if idx < lines.len() => lines[idx].strings.push(s),
+        _ => view.strings.push(s),
+    }
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#`s.
+fn raw_close(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items by brace matching
+/// over the stripped code. An attribute arms the tracker; the item it
+/// covers extends to the matching `}` of the first `{` opened after it
+/// (or to the first `;` when no brace opens — e.g. an attributed `use`).
+fn mark_test_regions(lines: &mut [LineView]) {
+    let mut armed = false;
+    let mut depth: i64 = 0;
+    let mut in_region = false;
+    for view in lines.iter_mut() {
+        let code = view.code.clone();
+        if !in_region && (code.contains("cfg(test)") || code.contains("#[test]")) {
+            armed = true;
+        }
+        if in_region || armed {
+            view.in_test = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if armed {
+                        armed = false;
+                        in_region = true;
+                        depth = 1;
+                    } else if in_region {
+                        depth += 1;
+                    }
+                }
+                '}' if in_region => {
+                    depth -= 1;
+                    if depth == 0 {
+                        in_region = false;
+                    }
+                }
+                // An armed attribute with no brace yet covers only the
+                // statement it annotates.
+                ';' if armed && depth == 0 => armed = false,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        classify("t.rs", src).lines.into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let f = classify("t.rs", "let x = 1; // SAFETY: fine\n/// doc unwrap()\nlet y = 2;");
+        assert_eq!(f.lines[0].code.trim(), "let x = 1;");
+        assert_eq!(f.lines[0].comment.trim(), "SAFETY: fine");
+        assert_eq!(f.lines[1].code.trim(), "");
+        assert_eq!(f.lines[1].comment.trim(), "doc unwrap()");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_but_kept() {
+        let f = classify("t.rs", r#"call(".unwrap()", "panic!");"#);
+        assert_eq!(f.lines[0].code, r#"call("", "");"#);
+        assert_eq!(f.lines[0].strings, vec![".unwrap()", "panic!"]);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let f = classify("t.rs", r##"let s = r#"a "quoted" _ =>"#; let t = "q\"u";"##);
+        assert_eq!(f.lines[0].strings[0], r#"a "quoted" _ =>"#);
+        assert_eq!(f.lines[0].strings[1], "q\\\"u");
+        assert!(!f.lines[0].code.contains("=>"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* one /* two */ still */ b";
+        assert_eq!(code_of(src)[0].replace(' ', ""), "ab");
+    }
+
+    #[test]
+    fn multiline_string_spans() {
+        let src = "let s = \"line one\nline two with unsafe\";\nlet x = 3;";
+        let f = classify("t.rs", src);
+        assert!(!f.lines[1].code.contains("unsafe"));
+        assert_eq!(f.lines[0].strings[0], "line one\nline two with unsafe");
+        assert_eq!(f.lines[2].code, "let x = 3;");
+    }
+
+    #[test]
+    fn lifetimes_do_not_open_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; x }";
+        let code = &code_of(src)[0];
+        assert!(code.contains("&'a str"));
+        assert!(code.contains("&'static str"));
+        assert!(!code.contains("'x'") || code.contains("''"), "char content blanked: {code}");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = classify("t.rs", src);
+        let flags: Vec<bool> = f.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_statement_without_braces() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}";
+        let f = classify("t.rs", src);
+        assert!(f.lines[1].in_test);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn test_attr_fn_is_marked() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\nfn real() {}";
+        let f = classify("t.rs", src);
+        assert!(f.lines[2].in_test);
+        assert!(!f.lines[4].in_test);
+    }
+}

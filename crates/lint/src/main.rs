@@ -1,0 +1,92 @@
+//! `tage_lint` — the workspace policy gate.
+//!
+//! ```text
+//! tage_lint check [--deny-all] [--json <path>] [--root <dir>]
+//! tage_lint list
+//! ```
+//!
+//! `check` exits 0 when no denial-severity finding exists, 1 when the
+//! policy is violated, 2 on usage or I/O errors. `--deny-all` promotes
+//! advisory passes (doc-sync) to denials — the CI gate mode. `--json`
+//! additionally writes the machine-readable report (uploaded as a CI
+//! artifact next to the `BENCH_*.json` files).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tage_lint::{render_pass_list, render_text, run_check, LintConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("list") => {
+            print!("{}", render_pass_list());
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("tage_lint: unknown command '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: tage_lint check [--deny-all] [--json <path>] [--root <dir>] | tage_lint list";
+
+fn check(args: &[String]) -> ExitCode {
+    let mut deny_all = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a directory"),
+            },
+            other => return usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("tage_lint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let report = match run_check(LintConfig::for_workspace(root), deny_all) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tage_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render_text(&report));
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("tage_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tage_lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

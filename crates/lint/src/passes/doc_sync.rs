@@ -1,0 +1,237 @@
+//! **doc-sync** — the grammar documentation cannot rot.
+//!
+//! Extracts every `SpecError` variant and every `PRESETS` row name from
+//! the spec module and requires each to appear in at least one of the
+//! configured documentation files (DESIGN.md / EXPERIMENTS.md). A new
+//! error variant or preset that ships undocumented is a finding; so is a
+//! spec file where the extraction anchors have moved (the pass reports
+//! that instead of silently passing).
+//!
+//! Default severity is [`Severity::Advice`]: the CI gate runs with
+//! `--deny-all`, which promotes it, while a quick local `tage_lint check`
+//! still fails only on code-policy findings.
+
+use super::{LintContext, Pass};
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+pub struct DocSync;
+
+impl Pass for DocSync {
+    fn name(&self) -> &'static str {
+        "doc-sync"
+    }
+
+    fn description(&self) -> &'static str {
+        "every SpecError variant and PRESETS row must appear in DESIGN.md/EXPERIMENTS.md"
+    }
+
+    fn default_severity(&self) -> Severity {
+        Severity::Advice
+    }
+
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let sev = self.default_severity();
+        let mut out = Vec::new();
+        let Some(spec) = ctx.files.iter().find(|f| f.rel_path == ctx.config.spec_file) else {
+            out.push(Diagnostic {
+                pass: self.name(),
+                file: ctx.config.spec_file.clone(),
+                line: 0,
+                severity: sev,
+                message: "spec file not found in the walked workspace".to_string(),
+            });
+            return out;
+        };
+        let mut docs = String::new();
+        for doc in &ctx.config.doc_files {
+            match std::fs::read_to_string(ctx.config.root.join(doc)) {
+                Ok(text) => docs.push_str(&text),
+                Err(e) => out.push(Diagnostic {
+                    pass: self.name(),
+                    file: doc.clone(),
+                    line: 0,
+                    severity: sev,
+                    message: format!("doc file unreadable: {e}"),
+                }),
+            }
+        }
+        let variants = enum_variants(spec, "SpecError");
+        if variants.is_empty() {
+            out.push(anchor_missing(self.name(), sev, spec, "enum SpecError"));
+        }
+        for (line, v) in variants {
+            if !docs.contains(&v) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: spec.rel_path.clone(),
+                    line,
+                    severity: sev,
+                    message: format!(
+                        "SpecError variant `{v}` is documented in none of: {}",
+                        ctx.config.doc_files.join(", ")
+                    ),
+                });
+            }
+        }
+        let presets = preset_names(spec);
+        if presets.is_empty() {
+            out.push(anchor_missing(self.name(), sev, spec, "const PRESETS table"));
+        }
+        for (line, p) in presets {
+            if !contains_name(&docs, &p) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: spec.rel_path.clone(),
+                    line,
+                    severity: sev,
+                    message: format!(
+                        "PRESETS row `{p}` is documented in none of: {}",
+                        ctx.config.doc_files.join(", ")
+                    ),
+                });
+            }
+        }
+        out
+    }
+}
+
+fn anchor_missing(
+    pass: &'static str,
+    severity: Severity,
+    spec: &SourceFile,
+    what: &str,
+) -> Diagnostic {
+    Diagnostic {
+        pass,
+        file: spec.rel_path.clone(),
+        line: 0,
+        severity,
+        message: format!("extraction anchor `{what}` not found — update the doc-sync pass"),
+    }
+}
+
+/// Variant names of `enum <name>`, with their 1-based lines. Brace-depth
+/// tracking over stripped code: a variant is the leading identifier of a
+/// depth-1 line inside the enum body.
+fn enum_variants(file: &SourceFile, name: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let needle = format!("enum {name}");
+    let mut depth = 0i64;
+    let mut inside = false;
+    for (i, line) in file.lines.iter().enumerate() {
+        if !inside && depth == 0 && line.code.contains(&needle) {
+            inside = true;
+            // Fall through: the opening brace may be on this line.
+        }
+        if inside {
+            if depth == 1 {
+                if let Some(ident) = leading_ident(&line.code) {
+                    if ident.chars().next().is_some_and(char::is_uppercase) {
+                        out.push((i + 1, ident));
+                    }
+                }
+            }
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return out;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// First-column names of the `PRESETS` table: the first string literal on
+/// each tuple line between `const PRESETS` and the closing `];`.
+fn preset_names(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    for (i, line) in file.lines.iter().enumerate() {
+        if !inside {
+            if line.code.contains("const PRESETS") {
+                inside = true;
+            }
+            continue;
+        }
+        if line.code.contains("];") {
+            break;
+        }
+        if line.code.trim_start().starts_with('(') {
+            if let Some(name) = line.strings.first() {
+                out.push((i + 1, name.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Leading identifier of a stripped code line, if any.
+fn leading_ident(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    let ident: String =
+        trimmed.chars().take_while(|c| c.is_alphanumeric() || *c == '_').collect();
+    (!ident.is_empty()).then_some(ident)
+}
+
+/// Word-boundary-ish containment for preset names, whose alphabet is
+/// `[a-z0-9-]`: `tage` must not count as documented merely because
+/// `tage-lsc` is.
+fn contains_name(docs: &str, name: &str) -> bool {
+    let is_name_char = |c: char| c.is_ascii_alphanumeric() || c == '-';
+    let mut start = 0;
+    while let Some(pos) = docs[start..].find(name) {
+        let at = start + pos;
+        let before_ok = !docs[..at].chars().next_back().is_some_and(is_name_char);
+        let after_ok = !docs[at + name.len()..].chars().next().is_some_and(is_name_char);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + name.len();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::classify;
+
+    #[test]
+    fn extracts_variants_and_presets() {
+        let src = "\
+/// docs
+pub enum SpecError {
+    Empty,
+    BadArg {
+        token: String,
+    },
+}
+
+pub const PRESETS: &[(&str, &str)] = &[
+    // a comment line
+    (\"tage\", \"tage\"),
+    (\"isl-tage\", \"tage+ium+sc+loop\"),
+];
+";
+        let f = classify("spec.rs", src);
+        let vs: Vec<String> = enum_variants(&f, "SpecError").into_iter().map(|(_, v)| v).collect();
+        assert_eq!(vs, vec!["Empty", "BadArg"]);
+        let ps: Vec<String> = preset_names(&f).into_iter().map(|(_, p)| p).collect();
+        assert_eq!(ps, vec!["tage", "isl-tage"]);
+    }
+
+    #[test]
+    fn name_containment_respects_boundaries() {
+        assert!(contains_name("the `tage` preset", "tage"));
+        assert!(!contains_name("only tage-lsc here", "tage"));
+        assert!(contains_name("| tage-lsc |", "tage-lsc"));
+    }
+}

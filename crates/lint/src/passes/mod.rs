@@ -1,0 +1,102 @@
+//! The pass registry and the matching/justification helpers every pass
+//! shares.
+//!
+//! A pass sees the whole classified workspace ([`LintContext`]) and emits
+//! [`Diagnostic`]s. Allowlisting is *in the source*: a flagged site is
+//! silenced by a justification comment (`// SAFETY:`, `// INVARIANT:`,
+//! `// ORDERING:`, `// WILDCARD:`) on the same line or within a small
+//! window of preceding lines — the why travels with the code it excuses.
+
+mod atomics;
+mod doc_sync;
+mod exhaustiveness;
+mod panic_policy;
+mod unsafe_policy;
+
+use crate::config::LintConfig;
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::SourceFile;
+
+/// Everything a pass may look at.
+pub struct LintContext {
+    /// The active policy.
+    pub config: LintConfig,
+    /// Every in-scope source file, classified.
+    pub files: Vec<SourceFile>,
+}
+
+/// One named policy pass.
+pub trait Pass {
+    /// Stable pass name (diagnostic tag, `tage_lint list` row).
+    fn name(&self) -> &'static str;
+    /// One-line policy statement.
+    fn description(&self) -> &'static str;
+    /// Default gating severity (promoted to `Deny` by `--deny-all`).
+    fn default_severity(&self) -> Severity {
+        Severity::Deny
+    }
+    /// Runs the pass over the workspace.
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic>;
+}
+
+/// Every registered pass, in reporting order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(unsafe_policy::UnsafePolicy),
+        Box::new(panic_policy::PanicPolicy),
+        Box::new(exhaustiveness::ExhaustivenessGuard),
+        Box::new(atomics::AtomicsOrdering),
+        Box::new(doc_sync::DocSync),
+    ]
+}
+
+/// Lines (0-based) a justification `tag` on line `i` covers: its own line
+/// and the `window` lines after an annotation-only line. Implemented from
+/// the site's side: is `tag` present in a comment on the site's line or
+/// within `window` preceding lines?
+pub(crate) fn justified(file: &SourceFile, line_idx: usize, tag: &str, window: usize) -> bool {
+    let lo = line_idx.saturating_sub(window);
+    file.lines[lo..=line_idx].iter().any(|l| l.comment.contains(tag))
+}
+
+/// True when `code` contains `word` delimited by non-identifier chars.
+pub(crate) fn contains_word(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !code[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = code[at + word.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+/// Builds one diagnostic at a 0-based line index.
+pub(crate) fn diag(
+    pass: &'static str,
+    severity: Severity,
+    file: &SourceFile,
+    line_idx: usize,
+    message: String,
+) -> Diagnostic {
+    Diagnostic { pass, file: file.rel_path.clone(), line: line_idx + 1, severity, message }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(contains_word("x = unsafe{y}", "unsafe"));
+        assert!(!contains_word("forbid(unsafe_code)", "unsafe"));
+        assert!(!contains_word("my_unsafe", "unsafe"));
+        assert!(contains_word("a.panic!()", "panic!"));
+    }
+}

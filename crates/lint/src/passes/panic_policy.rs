@@ -1,0 +1,66 @@
+//! **panic-policy** — library code fails loudly through typed errors, not
+//! through convenience panics.
+//!
+//! In non-test library-crate code, `unwrap()`, `expect(…)`, `panic!`,
+//! `unreachable!`, `todo!` and `unimplemented!` are denied unless the
+//! line carries (or closely follows) an `// INVARIANT: <why>` comment
+//! stating why the failure is impossible or is the correct loud response.
+//! Binary targets (`src/bin/`, `src/main.rs`) are exempt: a CLI aborting
+//! one invocation with a message is the intended behaviour there.
+
+use super::{contains_word, diag, justified, LintContext, Pass};
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+
+/// Lines above a panic site that may carry its `INVARIANT:` note.
+const INVARIANT_WINDOW: usize = 3;
+
+/// Substring patterns (matched against stripped code, so prose and string
+/// literals never trigger them).
+const CALL_PATTERNS: &[&str] = &[".unwrap()", ".expect("];
+/// Macro patterns, matched with identifier boundaries.
+const MACRO_PATTERNS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+
+pub struct PanicPolicy;
+
+impl Pass for PanicPolicy {
+    fn name(&self) -> &'static str {
+        "panic-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/unreachable! in non-test library code unless annotated // INVARIANT:"
+    }
+
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let sev = self.default_severity();
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            if LintConfig::is_bin_source(&file.rel_path) {
+                continue;
+            }
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let call = CALL_PATTERNS.iter().find(|p| line.code.contains(*p));
+                let mac = MACRO_PATTERNS.iter().find(|p| contains_word(&line.code, p));
+                let Some(pattern) = call.or(mac) else { continue };
+                if !justified(file, i, "INVARIANT:", INVARIANT_WINDOW) {
+                    out.push(diag(
+                        self.name(),
+                        sev,
+                        file,
+                        i,
+                        format!(
+                            "`{}` in library code: return a typed error, or state the invariant \
+                             with `// INVARIANT: <why this cannot fail>`",
+                            pattern.trim_start_matches('.')
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

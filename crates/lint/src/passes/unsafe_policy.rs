@@ -1,0 +1,78 @@
+//! **unsafe-policy** — `unsafe` is audited, not ambient.
+//!
+//! * Every crate *not* on the `unsafe_allowed_crates` allowlist must
+//!   declare `#![forbid(unsafe_code)]` in its `lib.rs`.
+//! * Allowlisted crates must declare `#![deny(unsafe_code)]` and scope
+//!   each use with a local `#[allow(unsafe_code)]`.
+//! * Every `unsafe` keyword and every `allow(unsafe_code)` needs a
+//!   `// SAFETY:` comment within the preceding lines stating the audit.
+
+use super::{contains_word, diag, justified, LintContext, Pass};
+use crate::diag::Diagnostic;
+
+/// Lines above an `unsafe` keyword that may carry its `SAFETY:` audit
+/// (attributes and cfg-gates often sit between the two).
+const SAFETY_WINDOW: usize = 10;
+
+pub struct UnsafePolicy;
+
+impl Pass for UnsafePolicy {
+    fn name(&self) -> &'static str {
+        "unsafe-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "crates forbid unsafe_code (allowlisted crates deny + scoped allow); every unsafe needs a SAFETY: audit"
+    }
+
+    fn run(&self, ctx: &LintContext) -> Vec<Diagnostic> {
+        let sev = self.default_severity();
+        let mut out = Vec::new();
+        for file in &ctx.files {
+            // Crate-header requirement, checked on each lib.rs.
+            if let Some(crate_dir) = lib_rs_crate(&file.rel_path) {
+                let allowlisted = ctx.config.unsafe_allowed_crates.iter().any(|c| c == crate_dir);
+                let want = if allowlisted { "#![deny(unsafe_code)]" } else { "#![forbid(unsafe_code)]" };
+                let has = file.lines.iter().any(|l| l.code.replace(' ', "").contains(want));
+                if !has {
+                    out.push(diag(
+                        self.name(),
+                        sev,
+                        file,
+                        0,
+                        format!("crate must declare `{want}` at the top of lib.rs"),
+                    ));
+                }
+            }
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let unsafe_kw = contains_word(&line.code, "unsafe");
+                let scoped_allow = line.code.replace(' ', "").contains("allow(unsafe_code)");
+                if (unsafe_kw || scoped_allow) && !justified(file, i, "SAFETY:", SAFETY_WINDOW) {
+                    let what = if scoped_allow { "`#[allow(unsafe_code)]`" } else { "`unsafe`" };
+                    out.push(diag(
+                        self.name(),
+                        sev,
+                        file,
+                        i,
+                        format!("{what} without a `// SAFETY:` audit comment within {SAFETY_WINDOW} lines"),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `Some(crate_dir)` when `rel_path` is a crate's `lib.rs` (the root
+/// facade maps to the crate name `"."`).
+fn lib_rs_crate(rel_path: &str) -> Option<&str> {
+    if rel_path == "src/lib.rs" {
+        return Some(".");
+    }
+    let rest = rel_path.strip_prefix("crates/")?;
+    let (crate_dir, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then_some(crate_dir)
+}

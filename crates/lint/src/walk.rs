@@ -1,0 +1,60 @@
+//! Source discovery: every `.rs` file under `crates/*/src/` and the root
+//! facade's `src/`, in a deterministic order.
+//!
+//! Tests, benches and examples are deliberately *not* walked: the
+//! policies bind library and binary sources (integration-test style is a
+//! separate concern), and `#[cfg(test)]` regions inside walked files are
+//! excluded per-line by the lexer. `vendor/` (API-subset stand-ins with
+//! their own upstream style) and `target/` are never entered.
+
+use crate::config::LintConfig;
+use crate::lexer::{classify, SourceFile};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Reads and classifies every in-scope source file.
+pub fn load_workspace(config: &LintConfig) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates_dir = config.root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut paths)?;
+            }
+        }
+    }
+    let root_src = config.root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut paths)?;
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let source = std::fs::read_to_string(&path)?;
+        files.push(classify(&rel_path(&config.root, &path), &source));
+    }
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

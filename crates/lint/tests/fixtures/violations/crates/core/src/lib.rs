@@ -1,0 +1,17 @@
+//! Fixture: an allowlisted-unsafe crate that breaks the unsafe policy.
+//! Missing the required `#![deny(unsafe_code)]` header, and the unsafe
+//! block below carries no SAFETY justification.
+
+pub mod spec;
+
+/// Reads the first byte of a slice without a bounds check.
+pub fn first_byte(data: &[u8]) -> u8 {
+    unsafe { *data.get_unchecked(0) }
+}
+
+/// A justified unsafe site: this one must NOT be flagged.
+// SAFETY: `len >= 1` is checked by the caller-visible assert below.
+pub fn first_byte_justified(data: &[u8]) -> u8 {
+    assert!(!data.is_empty());
+    unsafe { *data.get_unchecked(0) }
+}

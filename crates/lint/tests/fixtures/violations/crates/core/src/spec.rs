@@ -1,0 +1,33 @@
+//! Fixture spec module: an undocumented enum variant, an undocumented
+//! preset row, and a bare wildcard arm in a guarded file.
+
+/// Why a spec failed to parse.
+pub enum SpecError {
+    /// Documented in the fixture DESIGN.md.
+    Empty,
+    /// NOT documented anywhere: doc-sync must flag it.
+    PhantomVariant,
+}
+
+/// Named predictors.
+pub const PRESETS: &[(&str, &str)] = &[
+    ("tage", "tage"),
+    ("undocumented-preset", "tage+ium"),
+];
+
+/// Classifies a token; the bare `_ =>` below is unjustified.
+pub fn classify(token: &str) -> &'static str {
+    match token {
+        "tage" => "provider",
+        _ => "unknown",
+    }
+}
+
+/// A justified wildcard: this one must NOT be flagged.
+pub fn classify_justified(token: &str) -> &'static str {
+    match token {
+        "tage" => "provider",
+        // WILDCARD: open input domain — unknown tokens are reported, not matched.
+        _ => "unknown",
+    }
+}

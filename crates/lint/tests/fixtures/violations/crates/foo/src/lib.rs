@@ -1,0 +1,37 @@
+//! Fixture library crate: missing `#![forbid(unsafe_code)]`, an
+//! unjustified unwrap, and an unjustified relaxed atomic load.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parses a decimal count; the unwrap is unjustified.
+pub fn parse_count(s: &str) -> usize {
+    s.parse().unwrap()
+}
+
+/// A justified unwrap: this one must NOT be flagged.
+pub fn first_char(s: &str) -> char {
+    assert!(!s.is_empty());
+    // INVARIANT: the assert above guarantees at least one char.
+    s.chars().next().unwrap()
+}
+
+/// Reads a counter with an unjustified relaxed ordering.
+pub fn read_counter(c: &AtomicUsize) -> usize {
+    c.load(Ordering::Relaxed)
+}
+
+/// A justified relaxed load: this one must NOT be flagged.
+pub fn read_counter_justified(c: &AtomicUsize) -> usize {
+    // ORDERING: statistics-only counter; no happens-before edge needed.
+    c.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Unwraps inside test code are always allowed.
+    #[test]
+    fn test_code_is_exempt() {
+        let n: usize = "7".parse().unwrap();
+        assert_eq!(n, 7);
+    }
+}

@@ -20,6 +20,8 @@
 //! * [`cost`] — the CACTI-6.5 substitute: analytical area and
 //!   energy-per-access estimates for ported vs banked arrays.
 
+#![forbid(unsafe_code)]
+
 pub mod banking;
 pub mod cost;
 

@@ -155,6 +155,7 @@ pub fn simulate_source<P: Predictor, S: EventSource>(
             }
             // Retire in order.
             while window.front().is_some_and(|f| f.retire_at <= fetch_index) {
+                // INVARIANT: the loop condition just witnessed a front.
                 let mut f = window.pop_front().unwrap();
                 if !f.executed {
                     pending_exec.pop_front();

@@ -29,6 +29,8 @@
 //! assert!(r.conditionals > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod core_model;
 pub mod engine;
 pub mod report;

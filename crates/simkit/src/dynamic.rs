@@ -101,6 +101,9 @@ impl FlightSlot {
             .as_mut()
             .and_then(|c| c.downcast_mut::<Option<F>>())
             .and_then(Option::as_mut)
+            // INVARIANT: the lifecycle contract — a flight returns to the
+            // predictor that issued it; a mixed-up slot is a harness bug
+            // that must fail loudly, not mispredict quietly.
             .expect("FlightSlot fed back to a different predictor")
     }
 
@@ -116,6 +119,9 @@ impl FlightSlot {
             .as_mut()
             .and_then(|c| c.downcast_mut::<Option<F>>())
             .and_then(Option::take)
+            // INVARIANT: the lifecycle contract — a flight returns to the
+            // predictor that issued it; a mixed-up slot is a harness bug
+            // that must fail loudly, not mispredict quietly.
             .expect("FlightSlot fed back to a different predictor")
     }
 }

@@ -44,6 +44,8 @@ pub struct GlobalHistory {
 impl GlobalHistory {
     /// Creates an empty history (all zeros).
     pub fn new() -> Self {
+        // INVARIANT: the boxed slice is built with length CAPACITY on the
+        // previous token, so the fixed-size conversion cannot fail.
         Self { buf: vec![0u8; CAPACITY].into_boxed_slice().try_into().unwrap(), head: 0, pushed: 0 }
     }
 

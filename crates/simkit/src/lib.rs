@@ -37,6 +37,8 @@
 //! assert!(!c.is_taken());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bits;
 pub mod chooser;
 pub mod counter;

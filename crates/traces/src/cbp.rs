@@ -244,10 +244,12 @@ impl<R: Read + Seek> CbpReader<R> {
         let mut table = Vec::with_capacity(num_brs as usize);
         for rec in raw.chunks_exact(BRANCH_LEN as usize) {
             table.push(BranchRec {
+                // INVARIANT: fixed-width subslices of the 24-byte record
+                // read_exact filled above; lengths match by const (×4).
                 inst_addr: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
-                targ_addr: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
-                inst_length: u32::from_le_bytes(rec[16..20].try_into().unwrap()),
-                kind: bt_to_kind(u32::from_le_bytes(rec[20..24].try_into().unwrap()))?,
+                targ_addr: u64::from_le_bytes(rec[8..16].try_into().unwrap()), // INVARIANT: see above
+                inst_length: u32::from_le_bytes(rec[16..20].try_into().unwrap()), // INVARIANT: see above
+                kind: bt_to_kind(u32::from_le_bytes(rec[20..24].try_into().unwrap()))?, // INVARIANT: see above
             });
         }
         reader.seek(SeekFrom::Start(0))?;

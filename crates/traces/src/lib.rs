@@ -46,6 +46,8 @@
 //! # std::fs::remove_file(&path).unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cbp;
 pub mod codec;
 pub mod csv;

@@ -142,6 +142,8 @@ pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
         .iter()
         .map(|(&(pc, kind), &(t, nt))| TableEntry {
             pc,
+            // INVARIANT: round-trips kind_code's own output; the codes are
+            // a closed set both functions enumerate.
             kind: code_kind(kind).expect("kind_code output is always valid"),
             taken_target: t.unwrap_or(pc),
             nottaken_target: nt.unwrap_or(pc),

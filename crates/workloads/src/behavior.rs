@@ -17,6 +17,32 @@
 
 use simkit::rng::Xoshiro256;
 
+/// Why a `0`/`1` pattern string failed to parse (see
+/// [`Behavior::try_pattern_str`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern string was empty.
+    Empty,
+    /// A character other than `'0'`/`'1'`.
+    BadChar {
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "pattern must not be empty"),
+            PatternError::BadChar { ch } => {
+                write!(f, "invalid pattern character {ch:?} (expected '0' or '1')")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
 /// Number of recent conditional outcomes the generation context remembers
 /// (for correlated behaviours). Must be a power of two.
 const RING_BITS: usize = 2048;
@@ -174,22 +200,40 @@ impl Behavior {
         Behavior::HugePeriodic { pattern, pos: 0 }
     }
 
-    /// A periodic pattern behaviour from a `0`/`1` string, e.g. `"1101"`.
+    /// A periodic pattern behaviour from a `0`/`1` string, e.g. `"1101"`,
+    /// rejecting malformed inputs with a typed error (hand-authored
+    /// recipes and external tooling route through this).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `s` is empty or contains characters other than '0'/'1'.
-    pub fn pattern_str(s: &str) -> Self {
-        assert!(!s.is_empty(), "pattern must not be empty");
+    /// Returns [`PatternError`] when `s` is empty or contains characters
+    /// other than `'0'`/`'1'`.
+    pub fn try_pattern_str(s: &str) -> Result<Self, PatternError> {
+        if s.is_empty() {
+            return Err(PatternError::Empty);
+        }
         let pattern = s
             .chars()
             .map(|c| match c {
-                '0' => false,
-                '1' => true,
-                other => panic!("invalid pattern character {other:?}"),
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(PatternError::BadChar { ch: other }),
             })
-            .collect();
-        Behavior::Pattern { pattern, pos: 0 }
+            .collect::<Result<Vec<bool>, PatternError>>()?;
+        Ok(Behavior::Pattern { pattern, pos: 0 })
+    }
+
+    /// A periodic pattern behaviour from a compile-time-constant `0`/`1`
+    /// string (the suite recipes use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is empty or contains characters other than '0'/'1';
+    /// use [`Behavior::try_pattern_str`] for runtime inputs.
+    pub fn pattern_str(s: &str) -> Self {
+        // INVARIANT: callers pass literal recipe patterns; a malformed one
+        // is a suite bug the first generation run fails loudly on.
+        Self::try_pattern_str(s).unwrap_or_else(|e| panic!("pattern {s:?}: {e}"))
     }
 
     /// Produces the next outcome for this branch.
@@ -266,6 +310,28 @@ mod tests {
     #[should_panic]
     fn pattern_rejects_bad_chars() {
         let _ = Behavior::pattern_str("10x");
+    }
+
+    #[test]
+    fn try_pattern_returns_typed_errors() {
+        assert_eq!(Behavior::try_pattern_str("").unwrap_err(), PatternError::Empty);
+        assert_eq!(
+            Behavior::try_pattern_str("10x").unwrap_err(),
+            PatternError::BadChar { ch: 'x' }
+        );
+        // The first offending character wins.
+        assert_eq!(
+            Behavior::try_pattern_str("102").unwrap_err(),
+            PatternError::BadChar { ch: '2' }
+        );
+        assert!(matches!(
+            Behavior::try_pattern_str("0110"),
+            Ok(Behavior::Pattern { ref pattern, pos: 0 }) if pattern == &[false, true, true, false]
+        ));
+        assert_eq!(
+            PatternError::BadChar { ch: 'x' }.to_string(),
+            "invalid pattern character 'x' (expected '0' or '1')"
+        );
     }
 
     #[test]

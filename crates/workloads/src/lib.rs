@@ -34,6 +34,8 @@
 //! assert!(!trace.events.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod behavior;
 pub mod event;
 pub mod io;

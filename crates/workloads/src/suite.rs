@@ -208,6 +208,8 @@ pub fn generate_parallel(
             .into_iter()
             .map(|chunk| s.spawn(|| chunk.iter().map(&realize).collect::<Vec<_>>()))
             .collect();
+        // INVARIANT: re-raises a generator-thread panic on the caller;
+        // never an expected error path.
         handles.into_iter().flat_map(|h| h.join().expect("generator panicked")).collect()
     })
 }

@@ -36,6 +36,8 @@
 //! See `README.md` for the repository tour and `cargo run --release -p
 //! harness --bin tage_exp -- all` to regenerate the paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use harness;
 pub use memarray;
