@@ -1,0 +1,123 @@
+//! `bench_report` — diff a `BENCH_JSON` record against a committed
+//! baseline.
+//!
+//! ```text
+//! bench_report <current.json> [--baseline FILE] [--fail-over PCT]
+//! ```
+//!
+//! Both inputs are the JSON-lines files the vendored criterion stand-in
+//! appends under `BENCH_JSON=` (one `{"id", "ns_per_iter",
+//! "throughput_per_s"?}` object per line). The report prints per-id
+//! ns/iter with the baseline delta. It is *advisory by default* — the
+//! stand-in has no statistical sampling and CI runners are a
+//! heterogeneous fleet, so exit code 0 regardless of drift — unless
+//! `--fail-over PCT` turns regressions beyond that percentage into exit
+//! code 1 (for local, same-machine comparisons).
+
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// One `{"id":...,"ns_per_iter":...}` record per line; later lines win
+/// (re-runs append).
+fn parse(path: &str) -> Result<BTreeMap<String, u128>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let id = field(line, "\"id\":\"").and_then(|rest| rest.split('"').next());
+        let ns = field(line, "\"ns_per_iter\":")
+            .map(|rest| rest.trim_start())
+            .and_then(|rest| {
+                let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+                digits.parse::<u128>().ok()
+            });
+        match (id, ns) {
+            (Some(id), Some(ns)) => {
+                out.insert(id.to_string(), ns);
+            }
+            _ => return Err(format!("{path}: malformed record: {line}")),
+        }
+    }
+    Ok(out)
+}
+
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.find(key).map(|i| &line[i + key.len()..])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut current: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut fail_over: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next().cloned(),
+            "--fail-over" => {
+                fail_over = it.next().and_then(|v| v.parse().ok());
+                if fail_over.is_none() {
+                    eprintln!("--fail-over expects a percentage");
+                    exit(2);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_report <current.json> [--baseline FILE] [--fail-over PCT]");
+                return;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                exit(2);
+            }
+            other => current = Some(other.to_string()),
+        }
+    }
+    let Some(current) = current else {
+        eprintln!("usage: bench_report <current.json> [--baseline FILE] [--fail-over PCT]");
+        exit(2);
+    };
+    let cur = match parse(&current) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(1);
+        }
+    };
+    let base = match &baseline {
+        None => BTreeMap::new(),
+        // A missing or malformed baseline is advisory territory, not a
+        // failure: report current numbers and say why there is no diff.
+        Some(p) => match parse(p) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("note: no baseline diff ({e})");
+                BTreeMap::new()
+            }
+        },
+    };
+    println!("{:<45} {:>14} {:>14} {:>9}", "benchmark", "ns/iter", "baseline", "delta");
+    let mut worst: Option<(f64, String)> = None;
+    for (id, ns) in &cur {
+        match base.get(id) {
+            Some(&b) if b > 0 => {
+                let delta = *ns as f64 / b as f64 - 1.0;
+                println!("{id:<45} {ns:>14} {b:>14} {:>+8.1}%", delta * 100.0);
+                if worst.as_ref().is_none_or(|(w, _)| delta > *w) {
+                    worst = Some((delta, id.clone()));
+                }
+            }
+            _ => println!("{id:<45} {ns:>14} {:>14} {:>9}", "-", "-"),
+        }
+    }
+    for id in base.keys().filter(|id| !cur.contains_key(*id)) {
+        println!("{id:<45} {:>14} {:>14} {:>9}", "missing", base[id], "-");
+    }
+    if let Some((delta, id)) = &worst {
+        println!("worst regression: {id} {:+.1}%", delta * 100.0);
+        if let Some(limit) = fail_over {
+            if *delta * 100.0 > limit {
+                eprintln!("regression beyond --fail-over {limit}%");
+                exit(1);
+            }
+        }
+    }
+}

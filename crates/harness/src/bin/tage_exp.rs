@@ -5,7 +5,7 @@
 //!          [--threads N] [--stream] [--list]
 //! tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]
 //! tage_exp budgets
-//! tage_exp trace <file...> [--threads N]
+//! tage_exp trace <file...> [--threads N] [--batch auto|0|N]
 //! ```
 //!
 //! Experiments are declarative: each is a table of (predictor spec ×
@@ -160,7 +160,7 @@ fn print_usage() {
     println!("                [--threads N] [--stream] [--list]");
     println!("       tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]");
     println!("       tage_exp budgets");
-    println!("       tage_exp trace <file...> [--threads N]");
+    println!("       tage_exp trace <file...> [--threads N] [--batch auto|0|N]");
     println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
     println!("  --stream      regenerate traces inside each job (no suite materialization)");
     println!("  --list        print the experiment ids, spec counts and descriptions");
@@ -170,7 +170,9 @@ fn print_usage() {
     println!("  budgets          per-component storage budgets of the named presets");
     println!("                   (base/tagged/chooser provider sub-stage rows + side stages)");
     println!("  trace <file...>  run the predictor matrix over external trace files");
-    println!("                   (.ttr / cbp / csv, format autodetected)");
+    println!("                   (.ttr / .ttr3 / cbp / csv, format autodetected)");
+    println!("  --batch N        trace mode: events decoded per engine dispatch");
+    println!("                   (auto: {}; 0: the scalar reference route)", pipeline::DEFAULT_BATCH);
     println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");
     println!("  TAGE_NO_PREFETCH=1      disable eager cross-experiment suite prefetch");
     println!("experiments:");
@@ -332,6 +334,7 @@ fn budgets_mode() -> i32 {
 fn trace_files_mode(args: &[String]) -> i32 {
     let mut files: Vec<std::path::PathBuf> = Vec::new();
     let mut threads: Option<usize> = None;
+    let mut batch = pipeline::DEFAULT_BATCH;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -344,6 +347,19 @@ fn trace_files_mode(args: &[String]) -> i32 {
                         return 2;
                     }
                 }
+            }
+            "--batch" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                batch = match v {
+                    "auto" => pipeline::DEFAULT_BATCH,
+                    _ => match v.parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            eprintln!("--batch expects 'auto', 0 (scalar) or a block size (got '{v}')");
+                            return 2;
+                        }
+                    },
+                };
             }
             "--help" | "-h" => {
                 print_usage();
@@ -363,11 +379,13 @@ fn trace_files_mode(args: &[String]) -> i32 {
     }
     let start = std::time::Instant::now();
     println!(
-        "# tage_exp trace: {} file(s), predictors: {}",
+        "# tage_exp trace: {} file(s), batch {}, predictors: {}",
         files.len(),
+        if batch == 0 { "scalar".to_string() } else { batch.to_string() },
         trace_mode::MATRIX.map(|(name, _)| name).join(", ")
     );
-    match trace_mode::run_files(&files, &pipeline::PipelineConfig::default(), threads) {
+    match trace_mode::run_files_batched(&files, &pipeline::PipelineConfig::default(), threads, batch)
+    {
         Ok(results) => {
             print!("{}", trace_mode::render(&results));
             println!("# trace mode done in {:.1}s", start.elapsed().as_secs_f32());

@@ -2,16 +2,22 @@
 //!
 //! ```text
 //! tage_trace record <trace-name...|all> [--scale tiny|small|default|full]
-//!                   [--out DIR] [--format ttr|cbp|csv]
-//! tage_trace convert <input> <output> [--format ttr|cbp|csv]
+//!                   [--out DIR] [--format ttr|ttr3|cbp|csv] [--compress] [--scheme raw|lz]
+//! tage_trace convert <input> <output> [--format ttr|ttr3|cbp|csv] [--compress] [--scheme raw|lz]
 //! tage_trace inspect <file...>
 //! tage_trace formats
 //! ```
 //!
-//! `record` serializes synthetic suite traces to files (the bridge from
-//! the generator to the external-trace pipeline); `convert` transcodes any
-//! recognized format to any other (output format from the extension unless
-//! `--format` overrides); `inspect` streams a file and prints its vitals.
+//! `record` *streams* synthetic suite traces to files (the bridge from
+//! the generator to the external-trace pipeline) — events flow from the
+//! generator into the codec without ever materializing the trace, so peak
+//! memory is bounded by the codec's working set even at `--scale full`;
+//! `convert` transcodes any recognized format to any other (output format
+//! from the extension unless `--format` overrides); `inspect` streams a
+//! file and prints its vitals, including the v3 container's scheme byte,
+//! block count and compressed/raw ratio. `--compress` selects the block-
+//! compressed `.ttr` v3 container (`--scheme` picks the block scheme;
+//! default `lz`).
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -45,17 +51,27 @@ fn main() {
 
 fn print_usage() {
     println!("usage: tage_trace record <trace-name...|all> [--scale tiny|small|default|full]");
-    println!("                         [--out DIR] [--format ttr|cbp|csv]");
-    println!("       tage_trace convert <input> <output> [--format ttr|cbp|csv]");
+    println!("                         [--out DIR] [--format ttr|ttr3|cbp|csv]");
+    println!("                         [--compress] [--scheme raw|lz]");
+    println!("       tage_trace convert <input> <output> [--format ttr|ttr3|cbp|csv]");
+    println!("                          [--compress] [--scheme raw|lz]");
     println!("       tage_trace inspect <file...>");
     println!("       tage_trace formats");
+    println!("  --compress    write the block-compressed .ttr v3 container (same as --format ttr3)");
+    println!("  --scheme S    v3 block scheme (default lz; see DESIGN.md section 3b)");
 }
 
-/// `--flag value` pairs in parse order.
+/// `--flag value` pairs (and bare switches, recorded with an empty value)
+/// in parse order.
 type FlagPairs = Vec<(String, String)>;
 
-/// Splits `args` into positionals and the recognized `--flag value` pairs.
-fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, FlagPairs), String> {
+/// Splits `args` into positionals, the recognized `--flag value` pairs,
+/// and the recognized boolean `--switch`es (stored with an empty value).
+fn parse_flags(
+    args: &[String],
+    flags: &[&str],
+    switches: &[&str],
+) -> Result<(Vec<String>, FlagPairs), String> {
     let mut positional = Vec::new();
     let mut pairs = Vec::new();
     let mut it = args.iter();
@@ -63,6 +79,8 @@ fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, FlagPair
         if flags.contains(&a.as_str()) {
             let v = it.next().ok_or_else(|| format!("{a} expects a value"))?;
             pairs.push((a.clone(), v.clone()));
+        } else if switches.contains(&a.as_str()) {
+            pairs.push((a.clone(), String::new()));
         } else if a.starts_with("--") {
             return Err(format!("unknown flag '{a}'"));
         } else {
@@ -74,6 +92,45 @@ fn parse_flags(args: &[String], flags: &[&str]) -> Result<(Vec<String>, FlagPair
 
 fn flag<'a>(pairs: &'a [(String, String)], name: &str) -> Option<&'a str> {
     pairs.iter().rev().find(|(f, _)| f == name).map(|(_, v)| v.as_str())
+}
+
+fn switch(pairs: &[(String, String)], name: &str) -> bool {
+    pairs.iter().any(|(f, _)| f == name)
+}
+
+/// Resolves the output codec from `--format`/`--compress`/`--scheme`.
+/// `--compress` (or `--scheme`) selects the v3 container; an explicit
+/// conflicting `--format` is a usage error, not a silent override. The
+/// `Ttr3Codec` is returned owned because a non-default scheme byte is not
+/// in the registry.
+fn output_codec<'a>(
+    registry: &'a traces::CodecRegistry,
+    pairs: &FlagPairs,
+    default_format: Option<&str>,
+) -> Result<(Option<&'a dyn traces::TraceCodec>, Option<traces::Ttr3Codec>), String> {
+    let compress = switch(pairs, "--compress") || flag(pairs, "--scheme").is_some();
+    let format = flag(pairs, "--format");
+    if compress {
+        if let Some(f) = format {
+            if f != "ttr3" {
+                return Err(format!("--compress writes ttr3, which conflicts with --format {f}"));
+            }
+        }
+        let scheme = flag(pairs, "--scheme").unwrap_or("lz");
+        let Some((_, scheme_id, _)) = traces::SCHEMES.iter().find(|(n, _, _)| *n == scheme)
+        else {
+            let known: Vec<&str> = traces::SCHEMES.iter().map(|(n, _, _)| *n).collect();
+            return Err(format!("unknown scheme '{scheme}' (known: {})", known.join(", ")));
+        };
+        return Ok((None, Some(traces::Ttr3Codec { scheme_id: *scheme_id })));
+    }
+    match format.or(default_format) {
+        Some(name) => match registry.by_name(name) {
+            Some(c) => Ok((Some(c), None)),
+            None => Err(format!("unknown format '{name}' (see `tage_trace formats`)")),
+        },
+        None => Ok((None, None)),
+    }
 }
 
 fn usage_error(msg: &str) -> i32 {
@@ -88,10 +145,11 @@ fn io_fail(what: &str, e: &io::Error) -> i32 {
 }
 
 fn cmd_record(args: &[String]) -> i32 {
-    let (names, pairs) = match parse_flags(args, &["--scale", "--out", "--format"]) {
-        Ok(v) => v,
-        Err(e) => return usage_error(&e),
-    };
+    let (names, pairs) =
+        match parse_flags(args, &["--scale", "--out", "--format", "--scheme"], &["--compress"]) {
+            Ok(v) => v,
+            Err(e) => return usage_error(&e),
+        };
     if names.is_empty() {
         return usage_error("record: no trace names given");
     }
@@ -104,9 +162,15 @@ fn cmd_record(args: &[String]) -> i32 {
     };
     let out = PathBuf::from(flag(&pairs, "--out").unwrap_or("."));
     let registry = CodecRegistry::standard();
-    let format = flag(&pairs, "--format").unwrap_or("ttr");
-    let Some(codec) = registry.by_name(format) else {
-        return usage_error(&format!("unknown format '{format}' (see `tage_trace formats`)"));
+    let (reg_codec, owned) = match output_codec(&registry, &pairs, Some("ttr")) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let codec: &dyn traces::TraceCodec = match (&owned, reg_codec) {
+        (Some(c), _) => c,
+        // INVARIANT: record passes a default format, so output_codec
+        // always resolves one of the two.
+        (None, c) => c.expect("record always has a format"),
     };
     let specs = if names.iter().any(|n| n == "all") {
         suite(scale)
@@ -121,15 +185,15 @@ fn cmd_record(args: &[String]) -> i32 {
         specs
     };
     for spec in &specs {
-        let trace = spec.generate();
-        match harness::trace_mode::record_trace(&trace, codec, &out) {
-            Ok(path) => println!(
-                "recorded {} ({} events, {} conditionals) -> {}",
-                trace.name,
-                trace.events.len(),
-                trace.conditional_count(),
-                path.display()
-            ),
+        // Streamed end to end: the generator feeds the codec directly
+        // (re-invoked for two-pass layouts), so recording `--scale full`
+        // never materializes the event vector.
+        let mut make = || Ok(Box::new(spec.stream()) as Box<dyn EventSource + Send>);
+        match harness::trace_mode::record_stream(&spec.name, codec, &out, &mut make) {
+            Ok(path) => {
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                println!("recorded {} ({} bytes, streamed) -> {}", spec.name, bytes, path.display());
+            }
             Err(e) => return io_fail(&format!("record {}", spec.name), &e),
         }
     }
@@ -137,7 +201,7 @@ fn cmd_record(args: &[String]) -> i32 {
 }
 
 fn cmd_convert(args: &[String]) -> i32 {
-    let (files, pairs) = match parse_flags(args, &["--format"]) {
+    let (files, pairs) = match parse_flags(args, &["--format", "--scheme"], &["--compress"]) {
         Ok(v) => v,
         Err(e) => return usage_error(&e),
     };
@@ -146,12 +210,14 @@ fn cmd_convert(args: &[String]) -> i32 {
     };
     let (input, output) = (Path::new(input), Path::new(output));
     let registry = CodecRegistry::standard();
-    let to = match flag(&pairs, "--format") {
-        Some(name) => match registry.by_name(name) {
-            Some(c) => c,
-            None => return usage_error(&format!("unknown format '{name}'")),
-        },
-        None => match registry.by_extension(output) {
+    let (reg_codec, owned) = match output_codec(&registry, &pairs, None) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    let to: &dyn traces::TraceCodec = match (&owned, reg_codec) {
+        (Some(c), _) => c,
+        (None, Some(c)) => c,
+        (None, None) => match registry.by_extension(output) {
             Some(c) => c,
             None => {
                 return usage_error(&format!(
@@ -218,7 +284,19 @@ fn cmd_inspect(args: &[String]) -> i32 {
     let registry = CodecRegistry::standard();
     let mut t = harness::Table::new(
         "tage_trace inspect",
-        &["file", "format", "name", "category", "events", "conditionals", "static", "taken%"],
+        &[
+            "file",
+            "format",
+            "name",
+            "category",
+            "events",
+            "conditionals",
+            "static",
+            "taken%",
+            "scheme",
+            "blocks",
+            "comp/raw",
+        ],
     );
     for f in args {
         let path = Path::new(f);
@@ -241,6 +319,16 @@ fn cmd_inspect(args: &[String]) -> i32 {
         if let Err(e) = traces::finish(src.as_ref()) {
             return io_fail(f, &e);
         }
+        // Container vitals (the v3 scheme byte, block count and
+        // compression ratio); "-" for flat formats without a container.
+        let (scheme, blocks, ratio) = match src.container_info() {
+            Some(info) => (
+                format!("{} ({})", info.scheme, info.scheme_id),
+                info.blocks.to_string(),
+                format!("{:.2}", info.ratio()),
+            ),
+            None => ("-".into(), "-".into(), "-".into()),
+        };
         t.row(vec![
             path.file_name().and_then(|s| s.to_str()).unwrap_or(f).to_string(),
             src.format().to_string(),
@@ -250,6 +338,9 @@ fn cmd_inspect(args: &[String]) -> i32 {
             conditionals.to_string(),
             pcs.len().to_string(),
             format!("{:.1}", taken as f64 * 100.0 / conditionals.max(1) as f64),
+            scheme,
+            blocks,
+            ratio,
         ]);
     }
     t.print();

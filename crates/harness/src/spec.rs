@@ -28,6 +28,8 @@
 //! callers (the trace-mode matrix, `tage_exp system`).
 
 use baselines::{Bimodal, Ftl, Gehl, Gshare, Perceptron, Snap};
+use pipeline::{BlockSim, PipelineConfig, WindowEngine};
+use simkit::predictor::UpdateScenario;
 use simkit::BranchPredictor;
 use std::fmt;
 use std::str::FromStr;
@@ -151,6 +153,47 @@ impl PredictorSpec {
             PredictorSpec::Perceptron { rows, hist } => Box::new(Perceptron::new(*rows, *hist)),
             PredictorSpec::Snap512k => Box::new(Snap::cbp_512k()),
             PredictorSpec::Ftl512k => Box::new(Ftl::cbp_512k()),
+        })
+    }
+
+    /// Builds the predictor inside a block-at-a-time [`WindowEngine`] —
+    /// the batched counterpart of [`PredictorSpec::build`]. The returned
+    /// [`BlockSim`] erases the predictor type once per *block*
+    /// (`run_block`) instead of once per predictor call, and the window
+    /// loop inside stays monomorphized per arm, so dynamic callers (trace
+    /// mode, benches) amortize virtual dispatch without giving up the
+    /// registry interface. Bit-identical to the scalar route: both funnel
+    /// through the same per-event window step (pinned by the pipeline
+    /// engine tests and the trace-mode matrix test).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PredictorSpec::validate`].
+    pub fn build_engine(
+        &self,
+        scenario: UpdateScenario,
+        cfg: &PipelineConfig,
+    ) -> Result<Box<dyn BlockSim>, SpecError> {
+        self.validate()?;
+        Ok(match self {
+            PredictorSpec::Stack(spec) => {
+                Box::new(WindowEngine::new(spec.build()?, scenario, cfg))
+            }
+            PredictorSpec::Gshare { index_bits: None } => {
+                Box::new(WindowEngine::new(Gshare::cbp_512k(), scenario, cfg))
+            }
+            PredictorSpec::Gshare { index_bits: Some(bits) } => {
+                Box::new(WindowEngine::new(Gshare::new(*bits), scenario, cfg))
+            }
+            PredictorSpec::Gehl520k => Box::new(WindowEngine::new(Gehl::cbp_520k(), scenario, cfg)),
+            PredictorSpec::Bimodal { entries, ctr_bits } => {
+                Box::new(WindowEngine::new(Bimodal::new(*entries, *ctr_bits), scenario, cfg))
+            }
+            PredictorSpec::Perceptron { rows, hist } => {
+                Box::new(WindowEngine::new(Perceptron::new(*rows, *hist), scenario, cfg))
+            }
+            PredictorSpec::Snap512k => Box::new(WindowEngine::new(Snap::cbp_512k(), scenario, cfg)),
+            PredictorSpec::Ftl512k => Box::new(WindowEngine::new(Ftl::cbp_512k(), scenario, cfg)),
         })
     }
 
@@ -355,6 +398,35 @@ mod tests {
             PredictorSpec::parse("tage/ilv").unwrap().sim_key(),
             PredictorSpec::parse("tage").unwrap().sim_key()
         );
+    }
+
+    #[test]
+    fn engine_route_is_bit_identical_to_the_scalar_route_per_arm() {
+        use workloads::suite::{by_name, Scale};
+        let spec_src = by_name("INT02", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        let scenario = UpdateScenario::RereadAtRetire;
+        // One spec per PredictorSpec arm: every monomorphized engine arm
+        // must reproduce the boxed scalar route report for report.
+        for s in [
+            "tage+ium",
+            "gshare:512k",
+            "gshare:14",
+            "gehl:520k",
+            "bimodal:4096,2",
+            "perceptron:512,32",
+            "snap:512k",
+            "ftl:512k",
+        ] {
+            let spec = PredictorSpec::parse(s).unwrap();
+            let mut scalar = simkit::DynPredictor::new(spec.build().unwrap());
+            let want = pipeline::simulate_source(&mut scalar, &mut spec_src.stream(), scenario, &cfg);
+            for batch in [1usize, 7, pipeline::DEFAULT_BATCH] {
+                let mut engine = spec.build_engine(scenario, &cfg).unwrap();
+                let got = pipeline::simulate_engine(&mut *engine, &mut spec_src.stream(), batch);
+                assert_eq!(got, want, "{s} diverged at batch {batch}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::spec::PredictorSpec;
 use crate::table::{f1, Table};
-use pipeline::{simulate_source, PipelineConfig, SuiteReport};
+use pipeline::{simulate_engine, simulate_source, PipelineConfig, SuiteReport, DEFAULT_BATCH};
 use simkit::predictor::UpdateScenario;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,18 +68,34 @@ impl TraceDecoder for SpecSource {
 }
 
 /// One matrix cell: a fresh spec-built predictor streamed over one
-/// source (through the pooled [`simkit::DynPredictor`] route — dynamic
-/// dispatch with recycled flights, no per-branch allocation), with a
-/// post-run decode-integrity check.
+/// source, with a post-run decode-integrity check.
+///
+/// `batch == 0` takes the scalar reference route — the pooled
+/// [`simkit::DynPredictor`] behind [`simulate_source`], dynamic dispatch
+/// per predictor call. `batch >= 1` takes the block route —
+/// [`PredictorSpec::build_engine`]'s [`pipeline::WindowEngine`] behind
+/// [`simulate_engine`], one virtual `run_block` per `batch` events with a
+/// monomorphized window loop inside. Both funnel through the same
+/// per-event window step, so the reports are bit-identical (pinned by
+/// `batched_matrix_is_bit_identical_to_scalar`).
 fn run_cell(
     spec: &PredictorSpec,
     src: &mut Box<dyn TraceDecoder + Send>,
     cfg: &PipelineConfig,
+    batch: usize,
 ) -> io::Result<pipeline::SimReport> {
-    // INVARIANT: MATRIX specs are compile-time constants, parse-checked
-    // by the registry tests before any trace is opened.
-    let mut predictor = simkit::DynPredictor::new(spec.build().expect("matrix specs are valid"));
-    let r = simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg);
+    let r = if batch == 0 {
+        // INVARIANT: MATRIX specs are compile-time constants,
+        // parse-checked by the registry tests before any trace opens.
+        let mut predictor =
+            simkit::DynPredictor::new(spec.build().expect("matrix specs are valid"));
+        simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg)
+    } else {
+        // INVARIANT: same compile-time MATRIX specs as the scalar arm.
+        let mut engine =
+            spec.build_engine(MATRIX_SCENARIO, cfg).expect("matrix specs are valid");
+        simulate_engine(&mut *engine, src, batch)
+    };
     // A decoder that hit corrupt bytes ends its stream early; surface
     // that as an error instead of reporting a silently truncated run.
     traces::finish(src.as_ref())?;
@@ -94,6 +110,11 @@ fn run_cell(
 /// deterministic (predictor, source) order regardless of completion
 /// order.
 ///
+/// `batch` selects the per-cell simulation route (see [`run_cell`]):
+/// `0` is the scalar reference, `n >= 1` the block engine decoding `n`
+/// events per virtual dispatch. [`DEFAULT_BATCH`] is the auto default
+/// the CLI uses.
+///
 /// # Errors
 ///
 /// Propagates source-open and decode-integrity errors (the first error in
@@ -103,6 +124,7 @@ pub fn run_matrix<F>(
     open: F,
     cfg: &PipelineConfig,
     threads: Option<usize>,
+    batch: usize,
 ) -> io::Result<Vec<(&'static str, SuiteReport)>>
 where
     F: Fn(usize) -> io::Result<Box<dyn TraceDecoder + Send>> + Sync,
@@ -131,8 +153,8 @@ where
                     return;
                 }
                 let (predictor, source) = (cell / n, cell % n);
-                let result =
-                    open(source).and_then(|mut src| run_cell(&specs[predictor], &mut src, cfg));
+                let result = open(source)
+                    .and_then(|mut src| run_cell(&specs[predictor], &mut src, cfg, batch));
                 // INVARIANT: slot mutexes are uncontended by construction
                 // (each cell index is claimed once); poison would mean a
                 // sibling worker already panicked — propagate it.
@@ -166,8 +188,23 @@ pub fn run_files(
     cfg: &PipelineConfig,
     threads: Option<usize>,
 ) -> io::Result<Vec<(&'static str, SuiteReport)>> {
+    run_files_batched(files, cfg, threads, DEFAULT_BATCH)
+}
+
+/// [`run_files`] with an explicit batch size (`0`: the scalar reference
+/// route; see [`run_matrix`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_files`].
+pub fn run_files_batched(
+    files: &[PathBuf],
+    cfg: &PipelineConfig,
+    threads: Option<usize>,
+    batch: usize,
+) -> io::Result<Vec<(&'static str, SuiteReport)>> {
     let registry = CodecRegistry::standard();
-    run_matrix(files.len(), |i| registry.open(&files[i]), cfg, threads)
+    run_matrix(files.len(), |i| registry.open(&files[i]), cfg, threads, batch)
 }
 
 /// The matrix over synthetic trace recipes (the direct-run baseline the
@@ -182,7 +219,23 @@ pub fn run_specs(
     cfg: &PipelineConfig,
     threads: Option<usize>,
 ) -> io::Result<Vec<(&'static str, SuiteReport)>> {
-    run_matrix(specs.len(), |i| Ok(Box::new(SpecSource(specs[i].stream())) as _), cfg, threads)
+    run_specs_batched(specs, cfg, threads, DEFAULT_BATCH)
+}
+
+/// [`run_specs`] with an explicit batch size (`0`: the scalar reference
+/// route; see [`run_matrix`]).
+///
+/// # Errors
+///
+/// Same conditions as [`run_specs`].
+pub fn run_specs_batched(
+    specs: &[TraceSpec],
+    cfg: &PipelineConfig,
+    threads: Option<usize>,
+    batch: usize,
+) -> io::Result<Vec<(&'static str, SuiteReport)>> {
+    let open = |i: usize| Ok(Box::new(SpecSource(specs[i].stream())) as _);
+    run_matrix(specs.len(), open, cfg, threads, batch)
 }
 
 /// Renders the matrix: a per-trace MPPKI table plus category means,
@@ -253,6 +306,43 @@ pub fn record_trace(trace: &Trace, codec: &dyn TraceCodec, dir: &Path) -> io::Re
     Ok(path)
 }
 
+/// Records a *streamed* trace into `dir` as `<name>.<ext>` using
+/// `codec`, atomically. Unlike [`record_trace`] the events are never
+/// materialized here: the codec pulls them through
+/// [`TraceCodec::encode_stream`], re-invoking `make_source` when its
+/// layout needs a second pass, so peak memory is bounded by the codec's
+/// working set (the static-branch table plus, for block formats, one
+/// block buffer) regardless of trace length. Byte-identical to the
+/// materialized path for every registered codec (the trait contract,
+/// pinned per codec in `tage-traces`).
+///
+/// # Errors
+///
+/// Propagates encode and file I/O errors.
+pub fn record_stream(
+    name: &str,
+    codec: &dyn TraceCodec,
+    dir: &Path,
+    make_source: &mut dyn FnMut() -> io::Result<Box<dyn EventSource + Send>>,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let ext = codec.extensions()[0];
+    let path = dir.join(format!("{name}.{ext}"));
+    let tmp = dir.join(format!("{name}.{ext}.tmp.{}", std::process::id()));
+    let mut write = || -> io::Result<()> {
+        let mut w = io::BufWriter::new(std::fs::File::create(&tmp)?);
+        codec.encode_stream(&mut w, make_source)?;
+        use io::Write;
+        w.flush()
+    };
+    if let Err(e) = write() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +376,49 @@ mod tests {
             assert_eq!(a.reports, b.reports, "predictor {n1} diverged on recorded input");
         }
         assert_eq!(render(&direct), render(&recorded));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batched_matrix_is_bit_identical_to_scalar() {
+        // The trace-mode acceptance bar: the engine route must reproduce
+        // the scalar DynPredictor route exactly, at the auto batch, a
+        // deliberately awkward one, and N=1.
+        let specs: Vec<TraceSpec> =
+            ["INT02", "WS03"].iter().map(|n| by_name(n, Scale::Tiny).unwrap()).collect();
+        let cfg = PipelineConfig::default();
+        let scalar = run_specs_batched(&specs, &cfg, Some(2), 0).unwrap();
+        for batch in [1usize, 37, DEFAULT_BATCH] {
+            let batched = run_specs_batched(&specs, &cfg, Some(2), batch).unwrap();
+            for ((n1, a), (n2, b)) in scalar.iter().zip(&batched) {
+                assert_eq!(n1, n2);
+                assert_eq!(a.reports, b.reports, "{n1} diverged at batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_stream_is_byte_identical_to_record_trace() {
+        let spec = by_name("CLIENT03", Scale::Tiny).unwrap();
+        let trace = spec.generate();
+        let dir = temp_dir("stream-rec");
+        for codec_name in ["ttr", "ttr3"] {
+            let registry = traces::CodecRegistry::standard();
+            let codec = registry.by_name(codec_name).unwrap();
+            let materialized = record_trace(&trace, codec, &dir.join("mat")).unwrap();
+            let streamed = record_stream(
+                &trace.name,
+                codec,
+                &dir.join("str"),
+                &mut || Ok(Box::new(spec.stream()) as _),
+            )
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&materialized).unwrap(),
+                std::fs::read(&streamed).unwrap(),
+                "{codec_name}: streamed record diverged from materialized"
+            );
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -21,8 +21,10 @@ pub struct LintConfig {
     pub wildcard_guarded_files: Vec<String>,
     /// The file holding `enum SpecError` and the `PRESETS` table.
     pub spec_file: String,
-    /// Documentation files that must mention every `SpecError` variant
-    /// and every `PRESETS` row (doc-sync).
+    /// The file holding the `.ttr3` block-compression `SCHEMES` registry.
+    pub scheme_file: String,
+    /// Documentation files that must mention every `SpecError` variant,
+    /// every `PRESETS` row, and every `SCHEMES` row (doc-sync).
     pub doc_files: Vec<String>,
 }
 
@@ -41,8 +43,12 @@ impl LintConfig {
                 "crates/traces/src/codec.rs",
                 "crates/traces/src/decoder.rs",
                 "crates/traces/src/ttr.rs",
+                "crates/traces/src/ttr3.rs",
                 "crates/traces/src/cbp.rs",
                 "crates/traces/src/csv.rs",
+                // The block-scheme registry: an unknown scheme byte must be
+                // reported by name, not absorbed by a wildcard.
+                "crates/traces/src/scheme.rs",
                 // The spec grammar: every token/stage/param must be handled by name.
                 "crates/core/src/spec.rs",
             ]
@@ -50,6 +56,7 @@ impl LintConfig {
             .map(str::to_string)
             .collect(),
             spec_file: "crates/core/src/spec.rs".to_string(),
+            scheme_file: "crates/traces/src/scheme.rs".to_string(),
             doc_files: vec!["DESIGN.md".to_string(), "EXPERIMENTS.md".to_string()],
         }
     }

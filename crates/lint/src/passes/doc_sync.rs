@@ -1,11 +1,14 @@
 //! **doc-sync** — the grammar documentation cannot rot.
 //!
 //! Extracts every `SpecError` variant and every `PRESETS` row name from
-//! the spec module and requires each to appear in at least one of the
-//! configured documentation files (DESIGN.md / EXPERIMENTS.md). A new
-//! error variant or preset that ships undocumented is a finding; so is a
-//! spec file where the extraction anchors have moved (the pass reports
-//! that instead of silently passing).
+//! the spec module, plus every `SCHEMES` row name from the `.ttr3`
+//! block-compression registry, and requires each to appear in at least
+//! one of the configured documentation files (DESIGN.md /
+//! EXPERIMENTS.md — the scheme-byte table lives in DESIGN.md §3b). A
+//! new error variant, preset, or compression scheme that ships
+//! undocumented is a finding; so is a source file where the extraction
+//! anchors have moved (the pass reports that instead of silently
+//! passing).
 //!
 //! Default severity is [`Severity::Advice`]: the CI gate runs with
 //! `--deny-all`, which promotes it, while a quick local `tage_lint check`
@@ -23,7 +26,7 @@ impl Pass for DocSync {
     }
 
     fn description(&self) -> &'static str {
-        "every SpecError variant and PRESETS row must appear in DESIGN.md/EXPERIMENTS.md"
+        "every SpecError variant, PRESETS row, and SCHEMES row must appear in DESIGN.md/EXPERIMENTS.md"
     }
 
     fn default_severity(&self) -> Severity {
@@ -74,7 +77,7 @@ impl Pass for DocSync {
                 });
             }
         }
-        let presets = preset_names(spec);
+        let presets = table_names(spec, "const PRESETS");
         if presets.is_empty() {
             out.push(anchor_missing(self.name(), sev, spec, "const PRESETS table"));
         }
@@ -87,6 +90,35 @@ impl Pass for DocSync {
                     severity: sev,
                     message: format!(
                         "PRESETS row `{p}` is documented in none of: {}",
+                        ctx.config.doc_files.join(", ")
+                    ),
+                });
+            }
+        }
+        let Some(scheme) = ctx.files.iter().find(|f| f.rel_path == ctx.config.scheme_file)
+        else {
+            out.push(Diagnostic {
+                pass: self.name(),
+                file: ctx.config.scheme_file.clone(),
+                line: 0,
+                severity: sev,
+                message: "scheme file not found in the walked workspace".to_string(),
+            });
+            return out;
+        };
+        let schemes = table_names(scheme, "const SCHEMES");
+        if schemes.is_empty() {
+            out.push(anchor_missing(self.name(), sev, scheme, "const SCHEMES table"));
+        }
+        for (line, s) in schemes {
+            if !contains_name(&docs, &s) {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: scheme.rel_path.clone(),
+                    line,
+                    severity: sev,
+                    message: format!(
+                        "SCHEMES row `{s}` is documented in none of: {}",
                         ctx.config.doc_files.join(", ")
                     ),
                 });
@@ -149,14 +181,15 @@ fn enum_variants(file: &SourceFile, name: &str) -> Vec<(usize, String)> {
     out
 }
 
-/// First-column names of the `PRESETS` table: the first string literal on
-/// each tuple line between `const PRESETS` and the closing `];`.
-fn preset_names(file: &SourceFile) -> Vec<(usize, String)> {
+/// First-column names of a name-keyed const table (`PRESETS`,
+/// `SCHEMES`): the first string literal on each tuple line between
+/// `anchor` and the closing `];`.
+fn table_names(file: &SourceFile, anchor: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut inside = false;
     for (i, line) in file.lines.iter().enumerate() {
         if !inside {
-            if line.code.contains("const PRESETS") {
+            if line.code.contains(anchor) {
                 inside = true;
             }
             continue;
@@ -220,12 +253,19 @@ pub const PRESETS: &[(&str, &str)] = &[
     (\"tage\", \"tage\"),
     (\"isl-tage\", \"tage+ium+sc+loop\"),
 ];
+
+pub const SCHEMES: &[(&str, u8)] = &[
+    (\"raw\", 0),
+    (\"lz\", 1),
+];
 ";
         let f = classify("spec.rs", src);
         let vs: Vec<String> = enum_variants(&f, "SpecError").into_iter().map(|(_, v)| v).collect();
         assert_eq!(vs, vec!["Empty", "BadArg"]);
-        let ps: Vec<String> = preset_names(&f).into_iter().map(|(_, p)| p).collect();
+        let ps: Vec<String> = table_names(&f, "const PRESETS").into_iter().map(|(_, p)| p).collect();
         assert_eq!(ps, vec!["tage", "isl-tage"]);
+        let ss: Vec<String> = table_names(&f, "const SCHEMES").into_iter().map(|(_, s)| s).collect();
+        assert_eq!(ss, vec!["raw", "lz"]);
     }
 
     #[test]

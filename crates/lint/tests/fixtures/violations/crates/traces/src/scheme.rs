@@ -1,0 +1,8 @@
+//! Fixture scheme registry: one documented scheme row and one phantom
+//! row that doc-sync must flag.
+
+/// The scheme-byte registry.
+pub const SCHEMES: &[(&str, u8)] = &[
+    ("raw", 0),
+    ("phantom-scheme", 9),
+];

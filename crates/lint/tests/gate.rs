@@ -35,7 +35,7 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
             ("panic-policy", 1),      // parse_count's unwrap
             ("exhaustiveness-guard", 1), // classify's bare `_ =>`
             ("atomics-ordering", 1),  // read_counter's Relaxed load
-            ("doc-sync", 2),          // PhantomVariant + undocumented-preset
+            ("doc-sync", 3),          // PhantomVariant + undocumented-preset + phantom-scheme
         ],
         "full report:\n{}",
         tage_lint::render_text(&report)
@@ -54,6 +54,7 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
     assert!(has("atomics-ordering", "crates/foo/src/lib.rs", "ORDERING"));
     assert!(has("doc-sync", "crates/core/src/spec.rs", "PhantomVariant"));
     assert!(has("doc-sync", "crates/core/src/spec.rs", "undocumented-preset"));
+    assert!(has("doc-sync", "crates/traces/src/scheme.rs", "phantom-scheme"));
 
     // doc-sync stays advisory without --deny-all...
     assert!(report

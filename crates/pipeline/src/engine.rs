@@ -12,7 +12,13 @@ use crate::report::SimReport;
 use simkit::predictor::{Predictor, UpdateScenario};
 use simkit::stats::AccessStats;
 use std::collections::VecDeque;
-use workloads::event::{EventSource, Trace, TraceStream};
+use workloads::event::{EventBlock, EventSource, Trace, TraceEvent, TraceStream};
+
+/// Default block size for the batched drivers ([`simulate_source_batched`],
+/// [`simulate_engine`]). Big enough to amortize the per-block virtual
+/// calls to nothing, small enough that the reusable [`EventBlock`] stays
+/// cache-resident (~160 KiB of events).
+pub const DEFAULT_BATCH: usize = 4096;
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -64,6 +70,148 @@ struct Inflight<F> {
     executed: bool,
 }
 
+/// The in-flight window plus the accumulated counters of one simulation —
+/// everything `simulate_source` used to keep in locals, factored out so
+/// the scalar loop, the batched loop, and the type-erased [`WindowEngine`]
+/// all drive the *same* per-event body ([`WindowState::step`]) and stay
+/// bit-identical by construction.
+struct WindowState<F> {
+    // INVARIANT: `base` is the sequence number of `window.front()`, and
+    // `pending_exec` holds sequence numbers of not-yet-executed window
+    // entries in program order — `step` and `drain` maintain both in
+    // lockstep with every push/pop.
+    window: VecDeque<Inflight<F>>,
+    pending_exec: VecDeque<usize>,
+    base: usize,
+    fetch_index: usize,
+    core: CoreModel,
+    retire_lag: usize,
+    scenario: UpdateScenario,
+    immediate: bool,
+    mispredicts: u64,
+    penalty: u64,
+    uops: u64,
+    conditionals: u64,
+}
+
+impl<F> WindowState<F> {
+    fn new(scenario: UpdateScenario, cfg: &PipelineConfig) -> Self {
+        Self {
+            window: VecDeque::with_capacity(cfg.retire_lag + 64),
+            pending_exec: VecDeque::new(),
+            base: 0,
+            fetch_index: 0,
+            core: cfg.core.clone(),
+            retire_lag: cfg.retire_lag,
+            scenario,
+            immediate: scenario == UpdateScenario::Immediate,
+            mispredicts: 0,
+            penalty: 0,
+            uops: 0,
+            conditionals: 0,
+        }
+    }
+
+    /// Advances the simulation by exactly one trace event. This is *the*
+    /// per-event body: every driver funnels through it, so batched and
+    /// scalar runs perform the identical predict/execute/retire call
+    /// sequence against the predictor.
+    #[inline]
+    fn step<P: Predictor<Flight = F>>(&mut self, predictor: &mut P, ev: &TraceEvent) {
+        self.uops += ev.uops();
+        let b = ev.branch_info();
+        if !b.kind.is_conditional() {
+            // Non-conditional events do not occupy a fetch slot:
+            // `fetch_index` counts conditionals only.
+            predictor.note_uncond(&b);
+            return;
+        }
+        self.conditionals += 1;
+        let (pred, mut flight) = predictor.predict(&b);
+        let (resolution, exec_lag) = self.core.resolve(ev.load_addr);
+        if pred != ev.taken {
+            self.mispredicts += 1;
+            self.penalty += self.core.mispredict_penalty(resolution);
+        }
+        predictor.fetch_commit(&b, ev.taken, &mut flight);
+
+        if self.immediate {
+            predictor.execute(&b, ev.taken, &mut flight);
+            predictor.retire(&b, ev.taken, pred, flight, self.scenario);
+        } else {
+            self.pending_exec.push_back(self.base + self.window.len());
+            self.window.push_back(Inflight {
+                branch: b,
+                outcome: ev.taken,
+                predicted: pred,
+                flight,
+                exec_at: self.fetch_index + exec_lag,
+                retire_at: self.fetch_index + self.retire_lag.max(exec_lag + 1),
+                executed: false,
+            });
+            // Execute every branch whose resolution completed, in program
+            // order.
+            let mut k = 0;
+            while k < self.pending_exec.len() {
+                let seq = self.pending_exec[k];
+                let inflight = &mut self.window[seq - self.base];
+                if inflight.exec_at <= self.fetch_index {
+                    let ib = inflight.branch;
+                    let io = inflight.outcome;
+                    predictor.execute(&ib, io, &mut inflight.flight);
+                    inflight.executed = true;
+                    self.pending_exec.remove(k);
+                } else {
+                    k += 1;
+                }
+            }
+            // Retire in order.
+            while self.window.front().is_some_and(|f| f.retire_at <= self.fetch_index) {
+                // INVARIANT: the loop condition just witnessed a front.
+                let mut f = self.window.pop_front().unwrap();
+                if !f.executed {
+                    self.pending_exec.pop_front();
+                    predictor.execute(&f.branch, f.outcome, &mut f.flight);
+                }
+                self.base += 1;
+                predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, self.scenario);
+            }
+        }
+        self.fetch_index += 1;
+    }
+
+    /// Drains the window at trace end (`base` no longer needs maintaining:
+    /// nothing indexes the window after this).
+    fn drain<P: Predictor<Flight = F>>(&mut self, predictor: &mut P) {
+        while let Some(mut f) = self.window.pop_front() {
+            if !f.executed {
+                self.pending_exec.pop_front();
+                predictor.execute(&f.branch, f.outcome, &mut f.flight);
+            }
+            predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, self.scenario);
+        }
+    }
+
+    fn report<P: Predictor<Flight = F>>(
+        &self,
+        predictor: &P,
+        name: &str,
+        category: &str,
+    ) -> SimReport {
+        SimReport {
+            trace: name.to_string(),
+            category: category.to_string(),
+            predictor: predictor.name(),
+            scenario: self.scenario,
+            uops: self.uops,
+            conditionals: self.conditionals,
+            mispredicts: self.mispredicts,
+            penalty_cycles: self.penalty,
+            stats: predictor.stats(),
+        }
+    }
+}
+
 /// Simulates one predictor over one trace under one update scenario.
 ///
 /// Thin wrapper over [`simulate_source`] streaming the materialized trace;
@@ -91,103 +239,116 @@ pub fn simulate_source<P: Predictor, S: EventSource>(
     cfg: &PipelineConfig,
 ) -> SimReport {
     predictor.reset_stats();
-    let mut core = cfg.core.clone();
-    let mut window: VecDeque<Inflight<P::Flight>> = VecDeque::with_capacity(cfg.retire_lag + 64);
-    // Window entries not yet executed, as sequence numbers in program
-    // order; `base` is the sequence number of `window.front()`. Scanning
-    // only these (instead of the whole window) keeps the per-branch cost
-    // proportional to the execute lag rather than the retire lag, while
-    // visiting due branches in exactly the order the full scan would.
-    let mut pending_exec: VecDeque<usize> = VecDeque::new();
-    let mut base = 0usize;
-    let mut mispredicts = 0u64;
-    let mut penalty = 0u64;
-    let mut uops = 0u64;
-    let mut conditionals = 0u64;
-    let immediate = scenario == UpdateScenario::Immediate;
-
-    let mut fetch_index = 0usize;
+    let mut st = WindowState::new(scenario, cfg);
     while let Some(ev) = source.next_event() {
-        uops += ev.uops();
-        let b = ev.branch_info();
-        if !b.kind.is_conditional() {
-            predictor.note_uncond(&b);
-            continue;
-        }
-        conditionals += 1;
-        let (pred, mut flight) = predictor.predict(&b);
-        let (resolution, exec_lag) = core.resolve(ev.load_addr);
-        if pred != ev.taken {
-            mispredicts += 1;
-            penalty += core.mispredict_penalty(resolution);
-        }
-        predictor.fetch_commit(&b, ev.taken, &mut flight);
+        st.step(predictor, &ev);
+    }
+    st.drain(predictor);
+    st.report(predictor, source.name(), source.category())
+}
 
-        if immediate {
-            predictor.execute(&b, ev.taken, &mut flight);
-            predictor.retire(&b, ev.taken, pred, flight, scenario);
-        } else {
-            pending_exec.push_back(base + window.len());
-            window.push_back(Inflight {
-                branch: b,
-                outcome: ev.taken,
-                predicted: pred,
-                flight,
-                exec_at: fetch_index + exec_lag,
-                retire_at: fetch_index + cfg.retire_lag.max(exec_lag + 1),
-                executed: false,
-            });
-            // Execute every branch whose resolution completed, in program
-            // order.
-            let mut k = 0;
-            while k < pending_exec.len() {
-                let seq = pending_exec[k];
-                let inflight = &mut window[seq - base];
-                if inflight.exec_at <= fetch_index {
-                    let ib = inflight.branch;
-                    let io = inflight.outcome;
-                    predictor.execute(&ib, io, &mut inflight.flight);
-                    inflight.executed = true;
-                    pending_exec.remove(k);
-                } else {
-                    k += 1;
-                }
-            }
-            // Retire in order.
-            while window.front().is_some_and(|f| f.retire_at <= fetch_index) {
-                // INVARIANT: the loop condition just witnessed a front.
-                let mut f = window.pop_front().unwrap();
-                if !f.executed {
-                    pending_exec.pop_front();
-                    predictor.execute(&f.branch, f.outcome, &mut f.flight);
-                }
-                base += 1;
-                predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
-            }
+/// Like [`simulate_source`], but pulls events in blocks of `batch` through
+/// a reusable [`EventBlock`] instead of one virtual `next_event` call per
+/// event. The per-event call sequence against the predictor is identical
+/// to the scalar path (both funnel through the same [`WindowState::step`]),
+/// so results are bit-identical for every scenario and any `batch >= 1`;
+/// the win is amortized source dispatch — one `next_block` call per
+/// `batch` events — which matters most for `Box<dyn EventSource>` decoder
+/// chains.
+pub fn simulate_source_batched<P: Predictor, S: EventSource>(
+    predictor: &mut P,
+    source: &mut S,
+    scenario: UpdateScenario,
+    cfg: &PipelineConfig,
+    batch: usize,
+) -> SimReport {
+    let batch = batch.max(1);
+    predictor.reset_stats();
+    let mut st = WindowState::new(scenario, cfg);
+    let mut block = EventBlock::with_capacity(batch);
+    while source.next_block(&mut block, batch) > 0 {
+        for ev in &block.events {
+            st.step(predictor, ev);
         }
-        fetch_index += 1;
     }
-    // Drain the window at trace end (`base` no longer needs maintaining:
-    // nothing indexes the window after this).
-    while let Some(mut f) = window.pop_front() {
-        if !f.executed {
-            pending_exec.pop_front();
-            predictor.execute(&f.branch, f.outcome, &mut f.flight);
-        }
-        predictor.retire(&f.branch, f.outcome, f.predicted, f.flight, scenario);
+    st.drain(predictor);
+    st.report(predictor, source.name(), source.category())
+}
+
+/// An object-safe whole-window simulation engine: predictor, in-flight
+/// window, and counters behind one vtable, driven a *block* of events at a
+/// time.
+///
+/// This is the batched counterpart of `Box<dyn BranchPredictor>`: instead
+/// of erasing the predictor and paying four virtual calls plus a
+/// `FlightSlot` round-trip per branch, [`WindowEngine`] monomorphizes the
+/// entire hot loop over the concrete predictor (typed flights, inlined
+/// table access) and erases *outside* the loop — one virtual
+/// [`run_block`](BlockSim::run_block) call per [`EventBlock`].
+pub trait BlockSim: Send {
+    /// The composed predictor's display name (for reports).
+    fn predictor_name(&self) -> String;
+
+    /// Feeds `events` through the window in order.
+    fn run_block(&mut self, events: &[TraceEvent]);
+
+    /// Drains the in-flight window and assembles the final report. The
+    /// engine is spent afterwards; build a fresh one per simulation.
+    fn finish(&mut self, trace: &str, category: &str) -> SimReport;
+}
+
+/// The concrete [`BlockSim`] implementation: a predictor plus its
+/// [`WindowState`], monomorphized together. See the trait docs for why
+/// this beats per-event dynamic dispatch.
+pub struct WindowEngine<P: Predictor> {
+    predictor: P,
+    state: WindowState<P::Flight>,
+}
+
+impl<P: Predictor> WindowEngine<P> {
+    /// A fresh engine (stats reset, empty window) for one simulation.
+    pub fn new(predictor: P, scenario: UpdateScenario, cfg: &PipelineConfig) -> Self {
+        let mut predictor = predictor;
+        predictor.reset_stats();
+        Self { predictor, state: WindowState::new(scenario, cfg) }
+    }
+}
+
+impl<P: Predictor + Send> BlockSim for WindowEngine<P>
+where
+    P::Flight: Send,
+{
+    fn predictor_name(&self) -> String {
+        self.predictor.name()
     }
 
-    SimReport {
-        trace: source.name().to_string(),
-        category: source.category().to_string(),
-        predictor: predictor.name(),
-        scenario,
-        uops,
-        conditionals,
-        mispredicts,
-        penalty_cycles: penalty,
-        stats: predictor.stats(),
+    fn run_block(&mut self, events: &[TraceEvent]) {
+        for ev in events {
+            self.state.step(&mut self.predictor, ev);
+        }
     }
+
+    fn finish(&mut self, trace: &str, category: &str) -> SimReport {
+        self.state.drain(&mut self.predictor);
+        self.state.report(&self.predictor, trace, category)
+    }
+}
+
+/// Drives a type-erased [`BlockSim`] over an event source in blocks of
+/// `batch`. Two virtual calls per block (`next_block` + `run_block`)
+/// replace the scalar path's four-per-branch, which is where the batched
+/// throughput win on runtime-composed stacks comes from.
+pub fn simulate_engine<S: EventSource>(
+    engine: &mut dyn BlockSim,
+    source: &mut S,
+    batch: usize,
+) -> SimReport {
+    let batch = batch.max(1);
+    let mut block = EventBlock::with_capacity(batch);
+    while source.next_block(&mut block, batch) > 0 {
+        engine.run_block(&block.events);
+    }
+    engine.finish(source.name(), source.category())
 }
 
 /// Runs a freshly built predictor (from `make`) over every trace of a
@@ -365,6 +526,85 @@ mod tests {
         let via_box =
             simulate_source(&mut Gshare::new(12), &mut boxed, UpdateScenario::FetchOnly, &cfg);
         assert_eq!(via_box, concrete);
+    }
+
+    #[test]
+    fn batched_matches_scalar_for_every_scenario_and_edge_batch_size() {
+        // The batched driver must be bit-identical to the scalar reference
+        // for every §4.1.2 scenario at the in-flight-depth edge sizes:
+        // N=1 (degenerate), N=7 (smaller than the retire lag, so blocks
+        // straddle window boundaries), N=len, and N>len (single block).
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let trace = spec.generate();
+        let len = trace.events.len();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let scalar =
+                simulate_source(&mut Gshare::new(12), &mut spec.stream(), scenario, &cfg);
+            for batch in [1usize, 7, len, len + 13] {
+                let batched = simulate_source_batched(
+                    &mut Gshare::new(12),
+                    &mut spec.stream(),
+                    scenario,
+                    &cfg,
+                    batch,
+                );
+                assert_eq!(batched, scalar, "batch {batch} diverged under {scenario}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_for_stateful_predictor_and_dyn_stack() {
+        // IUM/loop/SC state is order-sensitive; a load-heavy trace drives
+        // variable execute lags through the pending-execute queue. The
+        // batched path must track the scalar one through both a concrete
+        // TAGE system and the boxed-dyn + pooled routes.
+        let spec = by_name("MM05", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let scalar = simulate_source(
+                &mut tage::TageSystem::isl_tage(),
+                &mut spec.stream(),
+                scenario,
+                &cfg,
+            );
+            let batched = simulate_source_batched(
+                &mut tage::TageSystem::isl_tage(),
+                &mut spec.stream(),
+                scenario,
+                &cfg,
+                64,
+            );
+            assert_eq!(batched, scalar, "concrete batched diverged under {scenario}");
+            let mut pooled = simkit::DynPredictor::new(Box::new(tage::TageSystem::isl_tage()));
+            let pooled_r =
+                simulate_source_batched(&mut pooled, &mut spec.stream(), scenario, &cfg, 64);
+            assert_eq!(pooled_r, scalar, "pooled batched diverged under {scenario}");
+        }
+    }
+
+    #[test]
+    fn window_engine_matches_scalar_bit_for_bit() {
+        // The type-erased block engine (one virtual call per block, typed
+        // flights inside) is the third driver over the same step body.
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let scalar = simulate_source(
+                &mut tage::TageSystem::isl_tage(),
+                &mut spec.stream(),
+                scenario,
+                &cfg,
+            );
+            for batch in [1usize, DEFAULT_BATCH] {
+                let mut engine: Box<dyn BlockSim> =
+                    Box::new(WindowEngine::new(tage::TageSystem::isl_tage(), scenario, &cfg));
+                assert_eq!(engine.predictor_name(), scalar.predictor);
+                let r = simulate_engine(&mut *engine, &mut spec.stream(), batch);
+                assert_eq!(r, scalar, "engine batch {batch} diverged under {scenario}");
+            }
+        }
     }
 
     #[test]

@@ -36,5 +36,8 @@ pub mod engine;
 pub mod report;
 
 pub use core_model::{CoreModel, MemoryHierarchy};
-pub use engine::{simulate, simulate_source, simulate_suite, PipelineConfig};
+pub use engine::{
+    simulate, simulate_engine, simulate_source, simulate_source_batched, simulate_suite, BlockSim,
+    PipelineConfig, WindowEngine, DEFAULT_BATCH,
+};
 pub use report::{SimReport, SuiteReport};

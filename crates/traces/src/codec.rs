@@ -3,7 +3,7 @@
 use crate::decoder::TraceDecoder;
 use std::io::{self, Read, Write};
 use std::path::Path;
-use workloads::event::Trace;
+use workloads::event::{EventSource, Trace};
 
 /// How many leading bytes [`CodecRegistry::detect`] hands to
 /// [`TraceCodec::matches_magic`].
@@ -45,6 +45,35 @@ pub trait TraceCodec: Send + Sync {
     /// error from the writer.
     fn encode(&self, w: &mut dyn Write, trace: &Trace) -> io::Result<()>;
 
+    /// Streams a source into the encoded output without materializing the
+    /// event stream, where the format allows it. `make_source` must
+    /// produce a fresh source replaying the identical stream on every
+    /// call: single-pass formats (`.ttr` v3) call it once, table-first
+    /// formats (`.ttr` v2) twice. The default materializes one pass and
+    /// delegates to [`TraceCodec::encode`] — correct for any codec, with
+    /// memory proportional to the trace.
+    ///
+    /// Overrides must produce output byte-identical to encoding the
+    /// materialized trace.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCodec::encode`], plus any error from `make_source`.
+    fn encode_stream(
+        &self,
+        w: &mut dyn Write,
+        make_source: &mut dyn FnMut() -> io::Result<Box<dyn EventSource + Send>>,
+    ) -> io::Result<()> {
+        let mut src = make_source()?;
+        let name = src.name().to_string();
+        let category = src.category().to_string();
+        let mut events = Vec::new();
+        while let Some(e) = src.next_event() {
+            events.push(e);
+        }
+        self.encode(w, &Trace { name, category, events })
+    }
+
     /// Opens `path` as a streaming event source. Codecs that do not embed
     /// trace metadata derive name/category from the file name (see
     /// [`file_meta`]).
@@ -83,10 +112,12 @@ impl CodecRegistry {
         Self { codecs: Vec::new() }
     }
 
-    /// The built-in formats: `.ttr` v2, CBP-style, CSV.
+    /// The built-in formats: `.ttr` v2, `.ttr3` block-compressed,
+    /// CBP-style, CSV.
     pub fn standard() -> Self {
         let mut r = Self::new();
         r.register(Box::new(crate::ttr::TtrCodec));
+        r.register(Box::new(crate::ttr3::Ttr3Codec::default()));
         r.register(Box::new(crate::cbp::CbpCodec));
         r.register(Box::new(crate::csv::CsvCodec));
         r
@@ -181,11 +212,12 @@ mod tests {
     }
 
     #[test]
-    fn standard_registry_has_three_codecs() {
+    fn standard_registry_has_four_codecs() {
         let r = CodecRegistry::standard();
         let names: Vec<&str> = r.codecs().map(|c| c.name()).collect();
-        assert_eq!(names, ["ttr", "cbp", "csv"]);
+        assert_eq!(names, ["ttr", "ttr3", "cbp", "csv"]);
         assert!(r.by_name("ttr").is_some());
+        assert!(r.by_name("ttr3").is_some());
         assert!(r.by_name("nope").is_none());
     }
 

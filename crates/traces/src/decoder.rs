@@ -9,11 +9,44 @@
 use std::io;
 use workloads::event::EventSource;
 
+/// Container-level vitals of a block-structured trace file, for
+/// `tage_trace inspect`: which compression scheme the file carries and
+/// how well it did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ContainerInfo {
+    /// The scheme byte from the container header.
+    pub scheme_id: u8,
+    /// The scheme's registry name (e.g. `"lz"`).
+    pub scheme: &'static str,
+    /// Number of event blocks.
+    pub blocks: u64,
+    /// Total decompressed payload bytes across all blocks.
+    pub raw_bytes: u64,
+    /// Total on-disk payload bytes across all blocks.
+    pub comp_bytes: u64,
+}
+
+impl ContainerInfo {
+    /// Compressed/raw payload ratio (1.0 when empty).
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.comp_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
 /// A streaming trace decoder: an [`EventSource`] with error reporting and
 /// optional size metadata.
 pub trait TraceDecoder: EventSource {
     /// Codec name that produced this decoder (e.g. `"ttr"`).
     fn format(&self) -> &'static str;
+
+    /// Block/compression vitals, for formats with a block structure.
+    fn container_info(&self) -> Option<ContainerInfo> {
+        None
+    }
 
     /// The decode error that ended the stream early, if any. Checked after
     /// draining the source; `None` means the stream ended cleanly.

@@ -13,6 +13,10 @@
 //! * [`ttr`] — the native `.ttr` v2 format: deduplicated static-branch
 //!   table + LEB128-packed event stream, lossless, with a reserved
 //!   compression-scheme byte for a future real compressor;
+//! * [`ttr3`] — the `.ttr` v3 container: streaming table-at-end layout
+//!   (bounded-memory recording) with scheme-compressed event blocks;
+//! * [`scheme`] — the [`BlockScheme`] registry behind the v3 scheme byte:
+//!   stored blocks plus a dependency-free LZ77, open for a real zstd;
 //! * [`cbp`] — the `cbp-experiments` branch-table + 16-bit entry layout
 //!   (sans zstd), for interop with externally recorded traces;
 //! * [`csv`] — plain text for hand-authored regression traces.
@@ -52,11 +56,15 @@ pub mod cbp;
 pub mod codec;
 pub mod csv;
 pub mod decoder;
+pub mod scheme;
 pub mod ttr;
+pub mod ttr3;
 pub mod varint;
 
 pub use cbp::{CbpCodec, CbpReader};
 pub use codec::{file_meta, CodecRegistry, TraceCodec, SNIFF_LEN};
 pub use csv::{CsvCodec, CsvReader};
-pub use decoder::{drain_checked, finish, TraceDecoder};
+pub use decoder::{drain_checked, finish, ContainerInfo, TraceDecoder};
+pub use scheme::{BlockScheme, LzScheme, RawScheme, SCHEMES};
 pub use ttr::{TtrCodec, TtrReader};
+pub use ttr3::{Ttr3Codec, Ttr3Reader, Ttr3Summary, Ttr3Writer};

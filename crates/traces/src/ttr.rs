@@ -51,9 +51,9 @@ pub const COMPRESSION_RAW: u8 = 0;
 /// corrupt or adversarial headers.
 pub const MAX_BRANCH_TABLE: u32 = 1 << 24;
 
-const FLAG_TAKEN: u8 = 1 << 0;
-const FLAG_LOAD: u8 = 1 << 1;
-const FLAG_TARGET: u8 = 1 << 2;
+pub(crate) const FLAG_TAKEN: u8 = 1 << 0;
+pub(crate) const FLAG_LOAD: u8 = 1 << 1;
+pub(crate) const FLAG_TARGET: u8 = 1 << 2;
 
 pub(crate) fn kind_code(k: BranchKind) -> u8 {
     match k {
@@ -81,7 +81,7 @@ pub(crate) fn code_kind(c: u8) -> io::Result<BranchKind> {
     })
 }
 
-fn write_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
+pub(crate) fn write_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
     let bytes = s.as_bytes();
     let len = u16::try_from(bytes.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string exceeds 64KiB"))?;
@@ -89,7 +89,7 @@ fn write_str(w: &mut dyn Write, s: &str) -> io::Result<()> {
     w.write_all(bytes)
 }
 
-fn read_str(r: &mut dyn Read) -> io::Result<String> {
+pub(crate) fn read_str(r: &mut dyn Read) -> io::Result<String> {
     let mut len = [0u8; 2];
     r.read_exact(&mut len)?;
     let mut buf = vec![0u8; u16::from_le_bytes(len) as usize];
@@ -97,17 +97,18 @@ fn read_str(r: &mut dyn Read) -> io::Result<String> {
     String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
 }
 
-/// One static-branch-table entry.
+/// One static-branch-table entry (shared with the v3 container, whose
+/// table differs only in ordering and placement).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct TableEntry {
-    pc: u64,
-    kind: BranchKind,
-    taken_target: u64,
-    nottaken_target: u64,
+pub(crate) struct TableEntry {
+    pub(crate) pc: u64,
+    pub(crate) kind: BranchKind,
+    pub(crate) taken_target: u64,
+    pub(crate) nottaken_target: u64,
 }
 
 impl TableEntry {
-    fn default_target(&self, taken: bool) -> u64 {
+    pub(crate) fn default_target(&self, taken: bool) -> u64 {
         if taken {
             self.taken_target
         } else {
@@ -116,7 +117,85 @@ impl TableEntry {
     }
 }
 
-/// Serializes `trace` as `.ttr` v2.
+/// Encodes one event record (index delta + flags + fields) against its
+/// site entry. Both container versions use this exact record layout; they
+/// differ only in which table the index refers to and where `prev_index`
+/// resets.
+pub(crate) fn encode_event_record(
+    w: &mut dyn Write,
+    site: &TableEntry,
+    index: usize,
+    prev_index: &mut i64,
+    e: &TraceEvent,
+) -> io::Result<()> {
+    let default = site.default_target(e.taken);
+    let mut flags = 0u8;
+    if e.taken {
+        flags |= FLAG_TAKEN;
+    }
+    if e.load_addr.is_some() {
+        flags |= FLAG_LOAD;
+    }
+    if e.target != default {
+        flags |= FLAG_TARGET;
+    }
+    varint::write_i64(w, index as i64 - *prev_index)?;
+    w.write_all(&[flags])?;
+    varint::write_u64(w, u64::from(e.uops_before))?;
+    if flags & FLAG_TARGET != 0 {
+        varint::write_i64(w, e.target.wrapping_sub(default) as i64)?;
+    }
+    if let Some(addr) = e.load_addr {
+        varint::write_u64(w, addr)?;
+    }
+    *prev_index = index as i64;
+    Ok(())
+}
+
+/// Decodes one event record against `table` — the inverse of
+/// [`encode_event_record`].
+pub(crate) fn decode_event_record(
+    r: &mut dyn Read,
+    table: &[TableEntry],
+    prev_index: &mut i64,
+) -> io::Result<TraceEvent> {
+    let index = prev_index.wrapping_add(varint::read_i64(r)?);
+    let site = usize::try_from(index)
+        .ok()
+        .and_then(|i| table.get(i))
+        .copied()
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("event site index {index} outside the branch table"),
+            )
+        })?;
+    *prev_index = index;
+    let mut byte = [0u8; 1];
+    r.read_exact(&mut byte)?;
+    let flags = byte[0];
+    if flags & !(FLAG_TAKEN | FLAG_LOAD | FLAG_TARGET) != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid event flags {flags:#04x}"),
+        ));
+    }
+    let taken = flags & FLAG_TAKEN != 0;
+    let uops = varint::read_u64(r)?;
+    let uops_before = u16::try_from(uops)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "uops_before exceeds u16"))?;
+    let mut target = site.default_target(taken);
+    if flags & FLAG_TARGET != 0 {
+        target = target.wrapping_add(varint::read_i64(r)? as u64);
+    }
+    let load_addr =
+        if flags & FLAG_LOAD != 0 { Some(varint::read_u64(r)?) } else { None };
+    Ok(TraceEvent { pc: site.pc, kind: site.kind, taken, target, uops_before, load_addr })
+}
+
+/// Serializes `trace` as `.ttr` v2. Thin wrapper over [`encode_two_pass`]
+/// replaying the materialized trace twice, so the streamed and
+/// materialized encoders are byte-identical by construction.
 ///
 /// # Errors
 ///
@@ -124,14 +203,39 @@ impl TableEntry {
 /// [`MAX_BRANCH_TABLE`] or a string field exceeds 64 KiB, and any I/O
 /// error from the writer.
 pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
-    // Pass 1: the deduplicated static-branch table. First-observed targets
-    // become the per-site defaults; divergent events carry overrides.
+    encode_two_pass(w, || Ok(trace.stream()))
+}
+
+/// Streams a source to `.ttr` v2 in bounded memory: pass 1 collects the
+/// deduplicated static-branch table (first-observed targets become the
+/// per-site defaults; divergent events carry overrides) and the event
+/// count, pass 2 re-plays the source and packs the event stream. Peak
+/// memory is the branch table — the static footprint — independent of the
+/// trace length.
+///
+/// `make` must produce a source replaying the identical event stream on
+/// each call; a divergent replay is detected and reported.
+///
+/// # Errors
+///
+/// As [`encode`], plus `InvalidData` when the two passes disagree.
+pub fn encode_two_pass<S, F>(w: &mut dyn Write, mut make: F) -> io::Result<()>
+where
+    S: EventSource,
+    F: FnMut() -> io::Result<S>,
+{
     let mut sites: BTreeMap<(u64, u8), (Option<u64>, Option<u64>)> = BTreeMap::new();
-    for e in &trace.events {
+    let mut event_count = 0u64;
+    let mut first = make()?;
+    let name = first.name().to_string();
+    let category = first.category().to_string();
+    while let Some(e) = first.next_event() {
         let slot = sites.entry((e.pc, kind_code(e.kind))).or_default();
         let side = if e.taken { &mut slot.0 } else { &mut slot.1 };
         side.get_or_insert(e.target);
+        event_count += 1;
     }
+    drop(first);
     if sites.len() as u64 > u64::from(MAX_BRANCH_TABLE) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
@@ -154,10 +258,10 @@ pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
 
     w.write_all(TTR_MAGIC)?;
     w.write_all(&[COMPRESSION_RAW])?;
-    write_str(w, &trace.name)?;
-    write_str(w, &trace.category)?;
+    write_str(w, &name)?;
+    write_str(w, &category)?;
     w.write_all(&(table.len() as u32).to_le_bytes())?;
-    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    w.write_all(&event_count.to_le_bytes())?;
 
     let mut prev_pc = 0u64;
     for t in &table {
@@ -168,31 +272,24 @@ pub fn encode(w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
         prev_pc = t.pc;
     }
 
+    let mut second = make()?;
     let mut prev_index = 0i64;
-    for e in &trace.events {
-        let index = index_of[&(e.pc, kind_code(e.kind))];
-        let site = &table[index];
-        let default = site.default_target(e.taken);
-        let mut flags = 0u8;
-        if e.taken {
-            flags |= FLAG_TAKEN;
-        }
-        if e.load_addr.is_some() {
-            flags |= FLAG_LOAD;
-        }
-        if e.target != default {
-            flags |= FLAG_TARGET;
-        }
-        varint::write_i64(w, index as i64 - prev_index)?;
-        w.write_all(&[flags])?;
-        varint::write_u64(w, u64::from(e.uops_before))?;
-        if flags & FLAG_TARGET != 0 {
-            varint::write_i64(w, e.target.wrapping_sub(default) as i64)?;
-        }
-        if let Some(addr) = e.load_addr {
-            varint::write_u64(w, addr)?;
-        }
-        prev_index = index as i64;
+    let mut replayed = 0u64;
+    while let Some(e) = second.next_event() {
+        let index = *index_of.get(&(e.pc, kind_code(e.kind))).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "source replay produced a branch site the first pass never saw",
+            )
+        })?;
+        encode_event_record(w, &table[index], index, &mut prev_index, &e)?;
+        replayed += 1;
+    }
+    if replayed != event_count {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("source replay produced {replayed} events, first pass saw {event_count}"),
+        ));
     }
     Ok(())
 }
@@ -279,41 +376,7 @@ impl<R: Read> TtrReader<R> {
     }
 
     fn decode_event(&mut self) -> io::Result<TraceEvent> {
-        let index = self.prev_index.wrapping_add(varint::read_i64(&mut self.reader)?);
-        let site = usize::try_from(index)
-            .ok()
-            .and_then(|i| self.table.get(i))
-            .copied()
-            .ok_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("event site index {index} outside the branch table"),
-                )
-            })?;
-        self.prev_index = index;
-        let mut byte = [0u8; 1];
-        self.reader.read_exact(&mut byte)?;
-        let flags = byte[0];
-        if flags & !(FLAG_TAKEN | FLAG_LOAD | FLAG_TARGET) != 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("invalid event flags {flags:#04x}"),
-            ));
-        }
-        let taken = flags & FLAG_TAKEN != 0;
-        let uops = varint::read_u64(&mut self.reader)?;
-        let uops_before = u16::try_from(uops)
-            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "uops_before exceeds u16"))?;
-        let mut target = site.default_target(taken);
-        if flags & FLAG_TARGET != 0 {
-            target = target.wrapping_add(varint::read_i64(&mut self.reader)? as u64);
-        }
-        let load_addr = if flags & FLAG_LOAD != 0 {
-            Some(varint::read_u64(&mut self.reader)?)
-        } else {
-            None
-        };
-        Ok(TraceEvent { pc: site.pc, kind: site.kind, taken, target, uops_before, load_addr })
+        decode_event_record(&mut self.reader, &self.table, &mut self.prev_index)
     }
 }
 
@@ -385,6 +448,16 @@ impl crate::TraceCodec for TtrCodec {
 
     fn encode(&self, w: &mut dyn Write, trace: &Trace) -> io::Result<()> {
         encode(w, trace)
+    }
+
+    fn encode_stream(
+        &self,
+        w: &mut dyn Write,
+        make_source: &mut dyn FnMut() -> io::Result<Box<dyn EventSource + Send>>,
+    ) -> io::Result<()> {
+        // Two passes over a regenerated source instead of one pass over a
+        // materialized trace: same bytes, bounded memory.
+        encode_two_pass(w, make_source)
     }
 
     fn open(&self, path: &Path) -> io::Result<Box<dyn TraceDecoder + Send>> {
@@ -512,6 +585,39 @@ mod tests {
         let ev_start = buf.len() - 3; // index_delta + flags + uops
         buf[ev_start] = 0x04; // zigzag(2)
         assert!(decode_vec(&buf).is_err());
+    }
+
+    #[test]
+    fn streamed_encode_is_byte_identical_to_materialized() {
+        // CI `cmp`s recorded .ttr files against csv-round-tripped ones, so
+        // the bounded-memory two-pass recorder must reproduce the
+        // materialized encoder exactly.
+        let spec = by_name("CLIENT01", Scale::Tiny).unwrap();
+        let t = spec.generate();
+        let materialized = encode_vec(&t);
+        let mut streamed = Vec::new();
+        let codec = TtrCodec;
+        let mut make = || -> io::Result<Box<dyn EventSource + Send>> {
+            Ok(Box::new(by_name("CLIENT01", Scale::Tiny).unwrap().stream()))
+        };
+        crate::TraceCodec::encode_stream(&codec, &mut streamed, &mut make).unwrap();
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn two_pass_detects_divergent_replay() {
+        // A source that replays differently on the second pass must be
+        // reported, not silently mis-encoded.
+        let t1 = by_name("MM01", Scale::Tiny).unwrap().generate();
+        let mut short = t1.clone();
+        short.events.truncate(t1.events.len() / 2);
+        let mut calls = 0;
+        let mut buf = Vec::new();
+        let r = encode_two_pass(&mut buf, || {
+            calls += 1;
+            Ok(if calls == 1 { t1.stream() } else { short.stream() })
+        });
+        assert!(r.is_err());
     }
 
     #[test]

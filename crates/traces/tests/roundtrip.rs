@@ -5,7 +5,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use simkit::predictor::BranchKind;
 use std::io::Cursor;
-use traces::{CbpReader, CsvReader, TraceDecoder, TtrReader};
+use traces::{CbpReader, CsvReader, TraceDecoder, Ttr3Reader, TtrReader};
 use workloads::event::{Trace, TraceEvent};
 
 fn kind_of(code: u8) -> BranchKind {
@@ -155,6 +155,91 @@ proptest! {
             Ok(r) => drain(r).is_err(),
         };
         prop_assert!(failed, "truncation by {cut} bytes went unnoticed");
+    }
+
+    #[test]
+    fn ttr3_round_trips_losslessly_under_both_schemes(raw in event_strategy(), scheme in 0u8..2) {
+        let t = trace_of(raw.into_iter().map(|(a, b)| event(a, b, true)).collect());
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, scheme).unwrap();
+        let back = drain(Ttr3Reader::new(Cursor::new(buf)).unwrap()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn truncated_ttr3_block_is_rejected_not_silently_short(cut in 1usize..200) {
+        // Truncation lands anywhere: in the trailer, the footer table, a
+        // block payload, or a frame header. Every case must surface as an
+        // open error or through traces::finish — never a panic, never a
+        // silently short stream.
+        let t = trace_of(
+            (0..60)
+                .map(|i| event((0x3000 + i * 16, (i % 5) as u8, i % 3 == 0), (0, 5, i % 2), true))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1).unwrap();
+        let cut = cut.min(buf.len() - 1);
+        buf.truncate(buf.len() - cut);
+        let failed = match Ttr3Reader::new(Cursor::new(buf)) {
+            Err(_) => true,
+            Ok(r) => drain(r).is_err(),
+        };
+        prop_assert!(failed, "truncation by {cut} bytes went unnoticed");
+    }
+
+    #[test]
+    fn flipped_byte_in_ttr3_never_panics(pos in 0usize..8192, val in any::<u8>()) {
+        // Covers the corrupt-block cases by position: a flip in the scheme
+        // byte (bad scheme), a frame length field (length overflow), or a
+        // compressed payload (corrupt LZ stream).
+        let t = trace_of(
+            (0..60)
+                .map(|i| event((0x4000 + i * 12, (i % 5) as u8, i % 2 == 0), (i, 7, 1), true))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1).unwrap();
+        let pos = pos % buf.len();
+        buf[pos] = val;
+        if let Ok(r) = Ttr3Reader::new(Cursor::new(buf)) {
+            let _ = drain(r);
+        }
+    }
+
+    #[test]
+    fn ttr3_frame_length_overflow_is_rejected(raw_len in any::<u32>(), comp_len in any::<u32>()) {
+        // Overwrite the first frame's length fields with arbitrary values:
+        // the frame-chain validation (or block decode) must reject any
+        // combination that disagrees with the payload, without panicking
+        // or over-allocating.
+        let t = trace_of(
+            (0..60)
+                .map(|i| event((0x5000 + i * 8, 0, i % 2 == 0), (i, 3, 0), true))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1).unwrap();
+        // Header: magic(8) + scheme(1) + name(2+6) + category(2+4); the
+        // frame starts right after, with raw_len/comp_len at +4 and +8.
+        let frame = 8 + 1 + 2 + t.name.len() + 2 + t.category.len();
+        buf[frame + 4..frame + 8].copy_from_slice(&raw_len.to_le_bytes());
+        buf[frame + 8..frame + 12].copy_from_slice(&comp_len.to_le_bytes());
+        if let Ok(r) = Ttr3Reader::new(Cursor::new(buf.clone())) {
+            if let Ok(back) = drain(r) {
+                // Only the original lengths can decode the original data.
+                prop_assert_eq!(back, t);
+            }
+        }
+    }
+
+    #[test]
+    fn ttr3_header_fuzz_never_panics(bytes in vec(any::<u8>(), 0usize..256)) {
+        let mut buf = b"TAGETTR3\x01".to_vec();
+        buf.extend(&bytes);
+        if let Ok(r) = Ttr3Reader::new(Cursor::new(buf)) {
+            let _ = drain(r);
+        }
     }
 
     #[test]

@@ -75,6 +75,34 @@ impl Trace {
     }
 }
 
+/// A reusable decode buffer for block-at-a-time event delivery.
+///
+/// The batched simulation loop refills one `EventBlock` per chunk instead
+/// of making one virtual `next_event` call per event; the buffer is
+/// reused across refills so the steady state allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct EventBlock {
+    /// The decoded events, in stream order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventBlock {
+    /// An empty block with capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { events: Vec::with_capacity(cap) }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the block holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
 /// A pull-based stream of trace events plus the metadata reports need.
 ///
 /// This is the interface the simulation engine consumes: a fully
@@ -92,6 +120,24 @@ pub trait EventSource {
 
     /// Produces the next event, or `None` at end of stream.
     fn next_event(&mut self) -> Option<TraceEvent>;
+
+    /// Refills `block` with up to `max` events (clearing any previous
+    /// contents) and returns the number delivered; `0` means end of
+    /// stream. The default pulls events one at a time, so any source gets
+    /// block delivery for free; sources with random-access backing (e.g.
+    /// [`TraceStream`]) override it with a bulk copy, and the `Box<dyn …>`
+    /// forwarding impl overrides it so a whole block costs one virtual
+    /// call instead of `max`.
+    fn next_block(&mut self, block: &mut EventBlock, max: usize) -> usize {
+        block.events.clear();
+        while block.events.len() < max {
+            match self.next_event() {
+                Some(e) => block.events.push(e),
+                None => break,
+            }
+        }
+        block.events.len()
+    }
 
     /// Materializes the remaining stream into a [`Trace`].
     fn collect_trace(mut self) -> Trace
@@ -124,6 +170,11 @@ impl<E: EventSource + ?Sized> EventSource for Box<E> {
     fn next_event(&mut self) -> Option<TraceEvent> {
         (**self).next_event()
     }
+
+    #[inline]
+    fn next_block(&mut self, block: &mut EventBlock, max: usize) -> usize {
+        (**self).next_block(block, max)
+    }
 }
 
 /// A borrowing [`EventSource`] over a materialized [`Trace`].
@@ -154,6 +205,15 @@ impl EventSource for TraceStream<'_> {
         let e = self.trace.events.get(self.pos).copied();
         self.pos += e.is_some() as usize;
         e
+    }
+
+    fn next_block(&mut self, block: &mut EventBlock, max: usize) -> usize {
+        let remaining = &self.trace.events[self.pos.min(self.trace.events.len())..];
+        let n = remaining.len().min(max);
+        block.events.clear();
+        block.events.extend_from_slice(&remaining[..n]);
+        self.pos += n;
+        n
     }
 }
 
@@ -249,6 +309,65 @@ mod tests {
         assert_eq!(n, 2);
         let boxed: Box<dyn EventSource + '_> = Box::new(t.stream());
         assert_eq!(boxed.collect_trace(), t);
+    }
+
+    #[test]
+    fn next_block_matches_next_event_for_any_chunking() {
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: (0..13).map(|i| ev(4 * (i + 1), i % 3 == 0, i as u16)).collect(),
+        };
+        for max in [1usize, 2, 5, 13, 64] {
+            let mut s = t.stream();
+            let mut block = EventBlock::default();
+            let mut got = Vec::new();
+            loop {
+                let n = s.next_block(&mut block, max);
+                assert_eq!(n, block.len());
+                if n == 0 {
+                    break;
+                }
+                assert!(n <= max);
+                got.extend_from_slice(&block.events);
+            }
+            assert_eq!(got, t.events, "chunk size {max}");
+            // End of stream is sticky.
+            assert_eq!(s.next_block(&mut block, max), 0);
+            assert!(block.is_empty());
+        }
+    }
+
+    #[test]
+    fn default_and_boxed_next_block_agree_with_override() {
+        struct OneAtATime<'a>(TraceStream<'a>);
+        impl EventSource for OneAtATime<'_> {
+            fn name(&self) -> &str {
+                self.0.name()
+            }
+            fn category(&self) -> &str {
+                self.0.category()
+            }
+            fn next_event(&mut self) -> Option<TraceEvent> {
+                self.0.next_event()
+            }
+        }
+        let t = Trace {
+            name: "t".into(),
+            category: "TEST".into(),
+            events: (0..7).map(|i| ev(8 * (i + 1), i % 2 == 0, 1)).collect(),
+        };
+        let mut block = EventBlock::with_capacity(4);
+        // Default (pull-loop) implementation.
+        let mut slow = OneAtATime(t.stream());
+        assert_eq!(slow.next_block(&mut block, 4), 4);
+        assert_eq!(block.events, t.events[..4]);
+        // Boxed forwarding reaches the TraceStream override.
+        let mut boxed: Box<dyn EventSource + '_> = Box::new(t.stream());
+        assert_eq!(boxed.next_block(&mut block, 4), 4);
+        assert_eq!(block.events, t.events[..4]);
+        assert_eq!(boxed.next_block(&mut block, 4), 3);
+        assert_eq!(block.events, t.events[4..]);
     }
 
     #[test]
