@@ -3,9 +3,13 @@
 //! ```text
 //! tage_exp <experiment|all> [--scale tiny|small|default|full]
 //!          [--threads N] [--stream] [--list]
+//!          [--artifacts DIR] [--branch-stats] [--top N]
 //! tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]
+//!          [--artifacts DIR] [--branch-stats] [--top N]
 //! tage_exp budgets
 //! tage_exp trace <file...> [--threads N] [--batch auto|0|N]
+//!          [--artifacts DIR] [--branch-stats] [--top N]
+//! tage_exp report <artifact|dir...> [--top N] [--fail-over PCT]
 //! ```
 //!
 //! Experiments are declarative: each is a table of (predictor spec ×
@@ -28,11 +32,22 @@
 //! predictor matrix over external trace files (`.ttr`, CBP, CSV —
 //! autodetected), grouped into categories by trace metadata or filename
 //! prefix.
+//!
+//! Every simulating mode takes `--artifacts DIR` to drop one versioned
+//! JSON [`RunArtifact`] per unique (composition, scenario) suite next to
+//! its text tables, `--branch-stats` to run the opt-in per-static-branch
+//! profiler (top `--top` branches land in the artifacts), and `tage_exp
+//! report` turns artifacts back into tables: suite summaries, hot-branch
+//! rankings, and MPPKI diffs against the first artifact as baseline
+//! (`--fail-over PCT` makes regressions fail the exit code for CI).
 
+use harness::artifact::{collect_paths, RunArtifact, SchedulerBlock};
 use harness::experiments::{by_id, prefetch, ALL_EXPERIMENTS, EXPERIMENTS};
 use harness::spec::PAPER_BUDGET_BITS;
 use harness::{trace_mode, ExpContext, ExpOptions, PredictorSpec, Table};
+use pipeline::SuiteReport;
 use simkit::{Predictor, UpdateScenario};
+use std::path::{Path, PathBuf};
 use workloads::suite::{Scale, HARD_TRACES};
 
 fn main() {
@@ -41,11 +56,15 @@ fn main() {
         Some("trace") => std::process::exit(trace_files_mode(&args[1..])),
         Some("system") => std::process::exit(system_mode(&args[1..])),
         Some("budgets") => std::process::exit(budgets_mode()),
+        Some("report") => std::process::exit(report_mode(&args[1..])),
         _ => {}
     }
     let mut scale = Scale::Default;
     let mut threads: Option<usize> = None;
     let mut stream = false;
+    let mut artifacts: Option<PathBuf> = None;
+    let mut branch_stats = false;
+    let mut top = DEFAULT_TOP;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -68,6 +87,24 @@ fn main() {
                 }
             }
             "--stream" => stream = true,
+            "--artifacts" => match it.next() {
+                Some(dir) => artifacts = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--artifacts expects a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--branch-stats" => branch_stats = true,
+            "--top" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = n,
+                    _ => {
+                        eprintln!("--top expects a positive integer (got '{v}')");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--list" => {
                 // Spec counts and descriptions come straight from the
                 // experiment registry's run tables — nothing hand-kept.
@@ -122,7 +159,11 @@ fn main() {
     let mut opts = ExpOptions::from_env();
     opts.threads = threads;
     opts.stream = stream;
+    opts.branch_stats = branch_stats;
     let ctx = ExpContext::with_options(scale, opts);
+    if branch_stats {
+        println!("# branch stats: per-static-branch profiler on (top {top} land in artifacts)");
+    }
     if ctx.streaming() {
         println!(
             "# stream mode: traces regenerate inside each job ({} worker threads)",
@@ -138,12 +179,25 @@ fn main() {
     // Cross-experiment pipelining: enqueue every experiment's suites
     // before rendering the first table.
     prefetch(&ctx, &ids);
-    for id in ids {
+    for id in &ids {
         let t0 = std::time::Instant::now();
         // Every id was validated against the registry above, so the
         // dispatcher cannot miss.
         harness::experiments::run(id, &ctx);
         println!("# [{id}] done in {:.1}s\n", t0.elapsed().as_secs_f32());
+    }
+    if let Some(dir) = &artifacts {
+        // Re-walk the run tables: every suite is memo-cached by now, so
+        // each request below is a free cache hit, not a re-simulation.
+        let runs: Vec<(PredictorSpec, UpdateScenario)> = ids
+            .iter()
+            .filter_map(|id| by_id(id))
+            .flat_map(|exp| exp.runs())
+            .map(|r| (r.spec, r.scenario))
+            .collect();
+        if emit_artifacts(dir, &ctx, &runs, top) != 0 {
+            std::process::exit(1);
+        }
     }
     let s = ctx.scheduler_stats();
     println!(
@@ -153,17 +207,86 @@ fn main() {
         s.suite_memo_hits,
         start.elapsed().as_secs_f32()
     );
+    println!(
+        "# scheduler: {:.1}s simulate busy across workers, {:.1}ms mean job",
+        s.busy_seconds(),
+        s.mean_job_millis()
+    );
+}
+
+/// Default cap on per-trace branch rows stored in artifacts and on
+/// hot-branch table rows in `tage_exp report`.
+const DEFAULT_TOP: usize = 20;
+
+/// Writes one [`RunArtifact`] per unique (composition, scenario) into
+/// `dir`. The suites are expected to be memo-cached already (the caller
+/// just rendered them), so this only serializes. Returns a process exit
+/// code.
+fn emit_artifacts(
+    dir: &Path,
+    ctx: &ExpContext,
+    runs: &[(PredictorSpec, UpdateScenario)],
+    top: usize,
+) -> i32 {
+    // One deterministic scheduler snapshot for every artifact of this
+    // invocation: taken before the memo re-requests below, so the embedded
+    // counters describe the simulation work, not the serialization pass.
+    let block = SchedulerBlock::from_stats(&ctx.scheduler_stats());
+    let mut seen: Vec<(String, &'static str)> = Vec::new();
+    let mut wrote = 0usize;
+    for (spec, scenario) in runs {
+        let key = (spec.sim_key(), scenario.label());
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        let suite = ctx.run_spec(spec, *scenario);
+        let art = RunArtifact::from_suite(
+            &spec.sim_key(),
+            *scenario,
+            ctx.scale.as_str(),
+            &suite,
+            Some(block),
+            top,
+        );
+        match art.write_to_dir(dir) {
+            Ok(path) => {
+                wrote += 1;
+                println!("# artifact: {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("artifact write failed for {}: {e}", art.file_name());
+                return 1;
+            }
+        }
+    }
+    println!("# artifacts: {wrote} file(s) in {}", dir.display());
+    0
 }
 
 fn print_usage() {
     println!("usage: tage_exp <experiment|all> [--scale tiny|small|default|full]");
     println!("                [--threads N] [--stream] [--list]");
+    println!("                [--artifacts DIR] [--branch-stats] [--top N]");
     println!("       tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]");
+    println!("                [--artifacts DIR] [--branch-stats] [--top N]");
     println!("       tage_exp budgets");
     println!("       tage_exp trace <file...> [--threads N] [--batch auto|0|N]");
+    println!("                [--artifacts DIR] [--branch-stats] [--top N]");
+    println!("       tage_exp report <artifact|dir...> [--top N] [--fail-over PCT]");
     println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
     println!("  --stream      regenerate traces inside each job (no suite materialization)");
     println!("  --list        print the experiment ids, spec counts and descriptions");
+    println!("  --artifacts DIR   write one versioned JSON run artifact per unique");
+    println!("                    (composition, scenario) suite into DIR");
+    println!("  --branch-stats    collect opt-in per-static-branch counters (profiles");
+    println!("                    ride into artifacts; tables stay byte-identical)");
+    println!("  --top N           branch rows kept per trace in artifacts and shown");
+    println!("                    by report (default {DEFAULT_TOP})");
+    println!("  report <paths...> render artifacts back into tables: suite summary,");
+    println!("                    hot branches, MPPKI diff vs the first artifact;");
+    println!("                    --fail-over PCT exits 1 when any diff row regresses");
+    println!("                    by more than PCT percent (CI gate)");
     println!("  system <spec...>  simulate user-composed predictor stacks over the suite,");
     println!("                    e.g. 'tage:x-1+ium+loop' or the provider-internal ablations");
     println!("                    'tage(base=gshare,chooser=always)' (see DESIGN.md §2)");
@@ -188,10 +311,31 @@ fn system_mode(args: &[String]) -> i32 {
     let mut threads: Option<usize> = None;
     let mut stream = false;
     let mut scenario = UpdateScenario::RereadAtRetire;
+    let mut artifacts: Option<PathBuf> = None;
+    let mut branch_stats = false;
+    let mut top = DEFAULT_TOP;
     let mut specs: Vec<PredictorSpec> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--artifacts" => match it.next() {
+                Some(dir) => artifacts = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--artifacts expects a directory");
+                    return 2;
+                }
+            },
+            "--branch-stats" => branch_stats = true,
+            "--top" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = n,
+                    _ => {
+                        eprintln!("--top expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
             "--scale" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 match Scale::parse(v) {
@@ -253,6 +397,7 @@ fn system_mode(args: &[String]) -> i32 {
     let mut opts = ExpOptions::from_env();
     opts.threads = threads;
     opts.stream = stream;
+    opts.branch_stats = branch_stats;
     let ctx = ExpContext::with_options(scale, opts);
     for spec in &specs {
         ctx.prefetch_spec(spec, scenario);
@@ -274,6 +419,13 @@ fn system_mode(args: &[String]) -> i32 {
         ]);
     }
     t.print();
+    if let Some(dir) = &artifacts {
+        let runs: Vec<(PredictorSpec, UpdateScenario)> =
+            specs.iter().map(|s| (s.clone(), scenario)).collect();
+        if emit_artifacts(dir, &ctx, &runs, top) != 0 {
+            return 1;
+        }
+    }
     println!("# system mode done in {:.1}s", start.elapsed().as_secs_f32());
     0
 }
@@ -335,9 +487,30 @@ fn trace_files_mode(args: &[String]) -> i32 {
     let mut files: Vec<std::path::PathBuf> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut batch = pipeline::DEFAULT_BATCH;
+    let mut artifacts: Option<PathBuf> = None;
+    let mut branch_stats = false;
+    let mut top = DEFAULT_TOP;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--artifacts" => match it.next() {
+                Some(dir) => artifacts = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--artifacts expects a directory");
+                    return 2;
+                }
+            },
+            "--branch-stats" => branch_stats = true,
+            "--top" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = n,
+                    _ => {
+                        eprintln!("--top expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
             "--threads" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 match v.parse::<usize>() {
@@ -384,10 +557,42 @@ fn trace_files_mode(args: &[String]) -> i32 {
         if batch == 0 { "scalar".to_string() } else { batch.to_string() },
         trace_mode::MATRIX.map(|(name, _)| name).join(", ")
     );
-    match trace_mode::run_files_batched(&files, &pipeline::PipelineConfig::default(), threads, batch)
-    {
+    let cfg = pipeline::PipelineConfig { branch_stats, ..pipeline::PipelineConfig::default() };
+    match trace_mode::run_files_batched(&files, &cfg, threads, batch) {
         Ok(results) => {
             print!("{}", trace_mode::render(&results));
+            if let Some(dir) = &artifacts {
+                // Trace mode bypasses the suite scheduler, so artifacts
+                // carry no scheduler block; the matrix spec string is the
+                // artifact's spec and the scale is `external`.
+                let mut wrote = 0usize;
+                for (name, suite) in &results {
+                    let spec = trace_mode::MATRIX
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, s)| *s)
+                        .unwrap_or(name);
+                    let art = RunArtifact::from_suite(
+                        spec,
+                        trace_mode::MATRIX_SCENARIO,
+                        "external",
+                        suite,
+                        None,
+                        top,
+                    );
+                    match art.write_to_dir(dir) {
+                        Ok(path) => {
+                            wrote += 1;
+                            println!("# artifact: {}", path.display());
+                        }
+                        Err(e) => {
+                            eprintln!("artifact write failed for {}: {e}", art.file_name());
+                            return 1;
+                        }
+                    }
+                }
+                println!("# artifacts: {wrote} file(s) in {}", dir.display());
+            }
             println!("# trace mode done in {:.1}s", start.elapsed().as_secs_f32());
             0
         }
@@ -395,5 +600,219 @@ fn trace_files_mode(args: &[String]) -> i32 {
             eprintln!("trace mode failed: {e}");
             1
         }
+    }
+}
+
+/// `tage_exp report <paths...>`: render run artifacts back into tables
+/// and diff them. The first artifact (after directory expansion, sorted
+/// by file name) is the baseline every other artifact diffs against.
+/// Returns the process exit code: 0 clean, 1 when `--fail-over` is set
+/// and a diff row regresses past it, 2 on usage or load errors.
+fn report_mode(args: &[String]) -> i32 {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut top = DEFAULT_TOP;
+    let mut fail_over: Option<f64> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = n,
+                    _ => {
+                        eprintln!("--top expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--fail-over" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => fail_over = Some(p),
+                    _ => {
+                        eprintln!("--fail-over expects a non-negative percentage (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return 0;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}' for report mode");
+                return 2;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("report mode: no artifact files or directories given");
+        print_usage();
+        return 2;
+    }
+    let files = match collect_paths(&paths) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if files.is_empty() {
+        eprintln!("report mode: no .json artifacts under the given paths");
+        return 2;
+    }
+    // Load and validate everything up front: a schema mismatch anywhere
+    // fails the whole report rather than silently diffing fewer runs.
+    let mut arts: Vec<(PathBuf, RunArtifact, SuiteReport)> = Vec::new();
+    for f in files {
+        let art = match RunArtifact::load(&f) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let suite = match art.suite_report() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{}: {e}", f.display());
+                return 2;
+            }
+        };
+        arts.push((f, art, suite));
+    }
+
+    let mut t = Table::new(
+        "RUN ARTIFACTS — suite summary",
+        &["file", "spec", "scen", "scale", "predictor", "traces", "MPPKI", "MPKI"],
+    );
+    for (f, a, suite) in &arts {
+        t.row(vec![
+            f.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+            a.spec.clone(),
+            a.scenario.clone(),
+            a.scale.clone(),
+            a.predictor.clone(),
+            a.traces.len().to_string(),
+            format!("{:.1}", suite.mppki()),
+            format!("{:.2}", suite.mpki()),
+        ]);
+    }
+    t.print();
+
+    // Hot branches, flattened across artifacts and traces. Artifacts
+    // recorded without --branch-stats contribute nothing.
+    let mut hot: Vec<(&str, &str, &pipeline::BranchStat)> = Vec::new();
+    for (_, a, suite) in &arts {
+        for r in &suite.reports {
+            if let Some(p) = &r.branches {
+                for s in &p.branches {
+                    hot.push((a.spec.as_str(), r.trace.as_str(), s));
+                }
+            }
+        }
+    }
+    if !hot.is_empty() {
+        hot.sort_by(|x, y| {
+            y.2.mispredicts
+                .cmp(&x.2.mispredicts)
+                .then(x.2.pc.cmp(&y.2.pc))
+                .then(x.0.cmp(y.0))
+                .then(x.1.cmp(y.1))
+        });
+        hot.truncate(top);
+        println!();
+        let mut bt = Table::new(
+            &format!("HOT BRANCHES — top {top} by mispredicts"),
+            &["spec", "trace", "pc", "execs", "taken%", "mispredicts", "mis-rate%", "penalty"],
+        );
+        for (spec, trace, s) in &hot {
+            bt.row(vec![
+                spec.to_string(),
+                trace.to_string(),
+                format!("{:#x}", s.pc),
+                s.executions.to_string(),
+                format!("{:.1}", s.taken_rate() * 100.0),
+                s.mispredicts.to_string(),
+                format!("{:.2}", s.mispredict_rate() * 100.0),
+                s.penalty_cycles.to_string(),
+            ]);
+        }
+        bt.print();
+    }
+
+    // Cross-run diffs against the first artifact.
+    let mut regressions = 0usize;
+    let mut comparisons = 0usize;
+    if arts.len() >= 2 {
+        let (_, base_art, base_suite) = &arts[0];
+        for (_, a, suite) in &arts[1..] {
+            comparisons += 1;
+            println!();
+            let mut dt = Table::new(
+                &format!(
+                    "MPPKI DIFF — {}[{}] vs baseline {}[{}]",
+                    a.spec, a.scenario, base_art.spec, base_art.scenario
+                ),
+                &["trace", "base", "new", "delta", "delta%", ""],
+            );
+            let mut unmatched = 0usize;
+            for br in &base_suite.reports {
+                let Some(nr) = suite.reports.iter().find(|r| r.trace == br.trace) else {
+                    unmatched += 1;
+                    continue;
+                };
+                let (b, n) = (br.mppki(), nr.mppki());
+                let delta = n - b;
+                let pct = delta * 100.0 / b.max(1e-9);
+                let over = fail_over.is_some_and(|thr| pct > thr);
+                if over {
+                    regressions += 1;
+                }
+                dt.row(vec![
+                    br.trace.clone(),
+                    format!("{b:.1}"),
+                    format!("{n:.1}"),
+                    format!("{delta:+.1}"),
+                    format!("{pct:+.2}"),
+                    if over { "REGRESSED".to_string() } else { String::new() },
+                ]);
+            }
+            let (b, n) = (base_suite.mppki(), suite.mppki());
+            let pct = (n - b) * 100.0 / b.max(1e-9);
+            let over = fail_over.is_some_and(|thr| pct > thr);
+            if over {
+                regressions += 1;
+            }
+            dt.row(vec![
+                "SUITE".to_string(),
+                format!("{b:.1}"),
+                format!("{n:.1}"),
+                format!("{:+.1}", n - b),
+                format!("{pct:+.2}"),
+                if over { "REGRESSED".to_string() } else { String::new() },
+            ]);
+            dt.print();
+            if unmatched > 0 {
+                println!("# note: {unmatched} baseline trace(s) missing from this artifact, skipped");
+            }
+        }
+    }
+    println!();
+    match fail_over {
+        Some(thr) => println!(
+            "# report: {} artifact(s), {comparisons} comparison(s), {regressions} regression(s) over {thr}%",
+            arts.len()
+        ),
+        None => println!(
+            "# report: {} artifact(s), {comparisons} comparison(s) (no --fail-over gate)",
+            arts.len()
+        ),
+    }
+    if regressions > 0 {
+        1
+    } else {
+        0
     }
 }

@@ -55,10 +55,11 @@ fn print_usage() {
     println!("                         [--compress] [--scheme raw|lz]");
     println!("       tage_trace convert <input> <output> [--format ttr|ttr3|cbp|csv]");
     println!("                          [--compress] [--scheme raw|lz]");
-    println!("       tage_trace inspect <file...>");
+    println!("       tage_trace inspect <file...> [--json]");
     println!("       tage_trace formats");
     println!("  --compress    write the block-compressed .ttr v3 container (same as --format ttr3)");
     println!("  --scheme S    v3 block scheme (default lz; see DESIGN.md section 3b)");
+    println!("  --json        inspect: emit a JSON array (same fields as the text columns)");
 }
 
 /// `--flag value` pairs (and bare switches, recorded with an empty value)
@@ -278,9 +279,14 @@ fn cmd_convert(args: &[String]) -> i32 {
 }
 
 fn cmd_inspect(args: &[String]) -> i32 {
-    if args.is_empty() {
+    let (files, pairs) = match parse_flags(args, &[], &["--json"]) {
+        Ok(v) => v,
+        Err(e) => return usage_error(&e),
+    };
+    if files.is_empty() {
         return usage_error("inspect: no files given");
     }
+    let json = switch(&pairs, "--json");
     let registry = CodecRegistry::standard();
     let mut t = harness::Table::new(
         "tage_trace inspect",
@@ -298,7 +304,11 @@ fn cmd_inspect(args: &[String]) -> i32 {
             "comp/raw",
         ],
     );
-    for f in args {
+    // One JSON object per file, same fields as the text columns (the
+    // container trio is null for flat formats) — machine-readable for CI
+    // and scripting, emitted as an array on stdout instead of the table.
+    let mut objects: Vec<String> = Vec::new();
+    for f in &files {
         let path = Path::new(f);
         let mut src = match registry.open(path) {
             Ok(s) => s,
@@ -319,9 +329,37 @@ fn cmd_inspect(args: &[String]) -> i32 {
         if let Err(e) = traces::finish(src.as_ref()) {
             return io_fail(f, &e);
         }
+        let file_name = path.file_name().and_then(|s| s.to_str()).unwrap_or(f).to_string();
+        let taken_pct = taken as f64 * 100.0 / conditionals.max(1) as f64;
         // Container vitals (the v3 scheme byte, block count and
-        // compression ratio); "-" for flat formats without a container.
-        let (scheme, blocks, ratio) = match src.container_info() {
+        // compression ratio); "-" / null for flat formats without one.
+        let info = src.container_info();
+        if json {
+            let container = match &info {
+                Some(i) => format!(
+                    "\"scheme\": {}, \"scheme_id\": {}, \"blocks\": {}, \"comp_ratio\": {:.2}",
+                    harness::artifact::json_str(i.scheme),
+                    i.scheme_id,
+                    i.blocks,
+                    i.ratio()
+                ),
+                None => "\"scheme\": null, \"scheme_id\": null, \"blocks\": null, \
+                         \"comp_ratio\": null"
+                    .to_string(),
+            };
+            objects.push(format!(
+                "  {{\"file\": {}, \"format\": {}, \"name\": {}, \"category\": {}, \
+                 \"events\": {events}, \"conditionals\": {conditionals}, \
+                 \"static_branches\": {}, \"taken_pct\": {taken_pct:.1}, {container}}}",
+                harness::artifact::json_str(&file_name),
+                harness::artifact::json_str(src.format()),
+                harness::artifact::json_str(src.name()),
+                harness::artifact::json_str(src.category()),
+                pcs.len(),
+            ));
+            continue;
+        }
+        let (scheme, blocks, ratio) = match info {
             Some(info) => (
                 format!("{} ({})", info.scheme, info.scheme_id),
                 info.blocks.to_string(),
@@ -330,20 +368,24 @@ fn cmd_inspect(args: &[String]) -> i32 {
             None => ("-".into(), "-".into(), "-".into()),
         };
         t.row(vec![
-            path.file_name().and_then(|s| s.to_str()).unwrap_or(f).to_string(),
+            file_name,
             src.format().to_string(),
             src.name().to_string(),
             src.category().to_string(),
             events.to_string(),
             conditionals.to_string(),
             pcs.len().to_string(),
-            format!("{:.1}", taken as f64 * 100.0 / conditionals.max(1) as f64),
+            format!("{taken_pct:.1}"),
             scheme,
             blocks,
             ratio,
         ]);
     }
-    t.print();
+    if json {
+        println!("[\n{}\n]", objects.join(",\n"));
+    } else {
+        t.print();
+    }
     0
 }
 

@@ -36,6 +36,11 @@ pub struct ExpOptions {
     /// Stream-first mode: regenerate traces inside each job instead of
     /// materializing the suite.
     pub stream: bool,
+    /// Collect per-static-branch profiles
+    /// ([`pipeline::report::BranchProfile`]) in every simulation run
+    /// through this context. Off by default; aggregates are unchanged
+    /// either way.
+    pub branch_stats: bool,
 }
 
 impl ExpOptions {
@@ -47,6 +52,7 @@ impl ExpOptions {
             threads: None,
             trace_cache: std::env::var_os("TAGE_TRACE_CACHE").map(Into::into),
             stream: false,
+            branch_stats: false,
         }
     }
 }
@@ -122,7 +128,8 @@ impl ExpContext {
             let threads = Some(runner.pool().threads());
             SuiteSource::Materialized(Arc::new(generate_parallel(scale, threads, cache.as_ref())))
         };
-        Self { scale, cfg: PipelineConfig::default(), source, runner }
+        let cfg = PipelineConfig { branch_stats: opts.branch_stats, ..PipelineConfig::default() };
+        Self { scale, cfg, source, runner }
     }
 
     /// Whether this context runs in stream-first mode.
@@ -357,7 +364,7 @@ mod tests {
 
     #[test]
     fn stream_mode_matches_materialized_bit_for_bit() {
-        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream };
+        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream, ..Default::default() };
         let materialized = ExpContext::with_options(Scale::Tiny, opts(false));
         let streamed = ExpContext::with_options(Scale::Tiny, opts(true));
         assert!(streamed.streaming());
@@ -391,7 +398,7 @@ mod tests {
 
     #[test]
     fn stream_mode_stats_and_sources_match() {
-        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream };
+        let opts = |stream| ExpOptions { threads: Some(2), trace_cache: None, stream, ..Default::default() };
         let materialized = ExpContext::with_options(Scale::Tiny, opts(false));
         let streamed = ExpContext::with_options(Scale::Tiny, opts(true));
         assert_eq!(materialized.trace_stats(), streamed.trace_stats());

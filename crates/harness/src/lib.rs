@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod artifact;
 pub mod ctx;
 pub mod experiments;
 pub mod runner;
@@ -16,6 +17,7 @@ pub mod spec;
 pub mod table;
 pub mod trace_mode;
 
+pub use artifact::{ArtifactError, BranchRow, RunArtifact, SchedulerBlock, TraceRow, ARTIFACT_SCHEMA};
 pub use ctx::{ExpContext, ExpOptions};
 pub use runner::{SchedulerStats, SuiteRunner, WorkerPool};
 pub use spec::PredictorSpec;

@@ -31,6 +31,17 @@ use workloads::{Trace, TraceSpec};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Runs `job`, adding its wall time to `busy` (see
+/// [`SchedulerStats::sim_busy_nanos`]).
+fn timed<T>(busy: &AtomicU64, job: impl FnOnce() -> T) -> T {
+    let start = std::time::Instant::now();
+    let out = job();
+    // ORDERING: statistics only — a monotonic total read after the suite
+    // waits complete; no decision is taken on a racy read.
+    busy.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed); // ORDERING: see above
+    out
+}
+
 /// Locks `m`, treating poisoning as fatal.
 // INVARIANT: a poisoned lock means another thread panicked *while holding
 // it* — pool jobs run under `catch_unwind` (see `Batch::run`), so poison
@@ -232,6 +243,22 @@ pub struct SchedulerStats {
     pub sim_jobs_requested: u64,
     /// Whole-suite requests served from the memo cache.
     pub suite_memo_hits: u64,
+    /// Total wall time spent inside simulate jobs, summed across workers
+    /// (nanoseconds). Busy time over elapsed time approximates pool
+    /// utilization; busy time over jobs run gives the mean job cost.
+    pub sim_busy_nanos: u64,
+}
+
+impl SchedulerStats {
+    /// Total busy time across workers, in seconds.
+    pub fn busy_seconds(&self) -> f64 {
+        self.sim_busy_nanos as f64 / 1e9
+    }
+
+    /// Mean wall time per executed simulate job, in milliseconds.
+    pub fn mean_job_millis(&self) -> f64 {
+        self.sim_busy_nanos as f64 / 1e6 / self.sim_jobs_run.max(1) as f64
+    }
 }
 
 type SuiteKey = (String, UpdateScenario, u64);
@@ -247,6 +274,8 @@ pub struct SuiteRunner {
     sim_jobs_run: AtomicU64,
     sim_jobs_requested: AtomicU64,
     suite_memo_hits: AtomicU64,
+    /// Shared with pool jobs (they outlive the borrow of `self`).
+    sim_busy_nanos: Arc<AtomicU64>,
 }
 
 impl SuiteRunner {
@@ -262,6 +291,7 @@ impl SuiteRunner {
             sim_jobs_run: AtomicU64::new(0),
             sim_jobs_requested: AtomicU64::new(0),
             suite_memo_hits: AtomicU64::new(0),
+            sim_busy_nanos: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -279,6 +309,7 @@ impl SuiteRunner {
             sim_jobs_run: self.sim_jobs_run.load(Ordering::Relaxed), // ORDERING: see above
             sim_jobs_requested: self.sim_jobs_requested.load(Ordering::Relaxed), // ORDERING: see above
             suite_memo_hits: self.suite_memo_hits.load(Ordering::Relaxed), // ORDERING: see above
+            sim_busy_nanos: self.sim_busy_nanos.load(Ordering::Relaxed), // ORDERING: see above
         }
     }
 
@@ -307,8 +338,9 @@ impl SuiteRunner {
             let traces = Arc::clone(traces);
             let batch = Arc::clone(&batch);
             let cfg = cfg.clone();
+            let busy = Arc::clone(&self.sim_busy_nanos);
             self.pool.submit(Box::new(move || {
-                batch.run(i, || simulate(&mut make(), &traces[i], scenario, &cfg));
+                batch.run(i, || timed(&busy, || simulate(&mut make(), &traces[i], scenario, &cfg)));
             }));
         }
         batch
@@ -375,9 +407,12 @@ impl SuiteRunner {
             let specs = Arc::clone(specs);
             let batch = Arc::clone(&batch);
             let cfg = cfg.clone();
+            let busy = Arc::clone(&self.sim_busy_nanos);
             self.pool.submit(Box::new(move || {
                 batch.run(i, || {
-                    simulate_source(&mut make(), &mut specs[i].stream(), scenario, &cfg)
+                    timed(&busy, || {
+                        simulate_source(&mut make(), &mut specs[i].stream(), scenario, &cfg)
+                    })
                 });
             }));
         }
@@ -586,6 +621,8 @@ mod tests {
         let stats = runner.stats();
         assert_eq!(stats.sim_jobs_run, 40);
         assert_eq!(stats.suite_memo_hits, 0);
+        assert!(stats.sim_busy_nanos > 0, "job timing must accumulate");
+        let busy_after_run = stats.sim_busy_nanos;
         let b = runner.run_suite_cached(
             "bimodal-test",
             &traces,
@@ -597,6 +634,9 @@ mod tests {
         assert_eq!(stats.sim_jobs_run, 40, "duplicate suite must not re-simulate");
         assert_eq!(stats.sim_jobs_requested, 80);
         assert_eq!(stats.suite_memo_hits, 1);
+        assert_eq!(stats.sim_busy_nanos, busy_after_run, "memo hits cost no busy time");
+        assert!(stats.mean_job_millis() >= 0.0);
+        assert!(stats.busy_seconds() > 0.0);
         assert_eq!(a.reports, b.reports);
         // A different scenario is a different key.
         runner.run_suite_cached(

@@ -23,8 +23,12 @@ pub struct LintConfig {
     pub spec_file: String,
     /// The file holding the `.ttr3` block-compression `SCHEMES` registry.
     pub scheme_file: String,
+    /// The file holding the `RunArtifact`/`TraceRow` run-artifact schema
+    /// and the `ARTIFACT_SCHEMA` version constant.
+    pub artifact_file: String,
     /// Documentation files that must mention every `SpecError` variant,
-    /// every `PRESETS` row, and every `SCHEMES` row (doc-sync).
+    /// every `PRESETS` row, every `SCHEMES` row, every artifact schema
+    /// field, and the artifact schema version (doc-sync).
     pub doc_files: Vec<String>,
 }
 
@@ -57,6 +61,7 @@ impl LintConfig {
             .collect(),
             spec_file: "crates/core/src/spec.rs".to_string(),
             scheme_file: "crates/traces/src/scheme.rs".to_string(),
+            artifact_file: "crates/harness/src/artifact.rs".to_string(),
             doc_files: vec!["DESIGN.md".to_string(), "EXPERIMENTS.md".to_string()],
         }
     }

@@ -2,13 +2,17 @@
 //!
 //! Extracts every `SpecError` variant and every `PRESETS` row name from
 //! the spec module, plus every `SCHEMES` row name from the `.ttr3`
-//! block-compression registry, and requires each to appear in at least
-//! one of the configured documentation files (DESIGN.md /
-//! EXPERIMENTS.md — the scheme-byte table lives in DESIGN.md §3b). A
-//! new error variant, preset, or compression scheme that ships
-//! undocumented is a finding; so is a source file where the extraction
-//! anchors have moved (the pass reports that instead of silently
-//! passing).
+//! block-compression registry, plus every `RunArtifact`/`TraceRow`
+//! field and the `ARTIFACT_SCHEMA` version string from the run-artifact
+//! module, and requires each to appear in at least one of the
+//! configured documentation files (DESIGN.md / EXPERIMENTS.md — the
+//! scheme-byte table lives in DESIGN.md §3b, the artifact schema table
+//! in §7; artifact fields must appear backticked, the way the schema
+//! table renders them). A new error variant, preset, compression
+//! scheme, or artifact field that ships undocumented is a finding — as
+//! is an artifact schema version bump without a doc update; so is a
+//! source file where the extraction anchors have moved (the pass
+//! reports that instead of silently passing).
 //!
 //! Default severity is [`Severity::Advice`]: the CI gate runs with
 //! `--deny-all`, which promotes it, while a quick local `tage_lint check`
@@ -26,7 +30,7 @@ impl Pass for DocSync {
     }
 
     fn description(&self) -> &'static str {
-        "every SpecError variant, PRESETS row, and SCHEMES row must appear in DESIGN.md/EXPERIMENTS.md"
+        "every SpecError variant, PRESETS/SCHEMES row, and RunArtifact schema field/version must appear in DESIGN.md/EXPERIMENTS.md"
     }
 
     fn default_severity(&self) -> Severity {
@@ -124,6 +128,60 @@ impl Pass for DocSync {
                 });
             }
         }
+        let Some(artifact) = ctx.files.iter().find(|f| f.rel_path == ctx.config.artifact_file)
+        else {
+            out.push(Diagnostic {
+                pass: self.name(),
+                file: ctx.config.artifact_file.clone(),
+                line: 0,
+                severity: sev,
+                message: "artifact file not found in the walked workspace".to_string(),
+            });
+            return out;
+        };
+        // Artifact schema pinning: every serialized field of the two
+        // structural levels, plus the version literal itself. Fields are
+        // required *backticked* — short names like `spec` or `trace`
+        // would otherwise match ambient prose.
+        for name in ["RunArtifact", "TraceRow"] {
+            let fields = struct_fields(artifact, name);
+            if fields.is_empty() {
+                out.push(anchor_missing(self.name(), sev, artifact, &format!("struct {name}")));
+            }
+            for (line, fld) in fields {
+                if !docs.contains(&format!("`{fld}`")) {
+                    out.push(Diagnostic {
+                        pass: self.name(),
+                        file: artifact.rel_path.clone(),
+                        line,
+                        severity: sev,
+                        message: format!(
+                            "{name} schema field `{fld}` is documented (backticked) in none of: {}",
+                            ctx.config.doc_files.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+        match const_string(artifact, "const ARTIFACT_SCHEMA") {
+            Some((line, version)) => {
+                if !docs.contains(&version) {
+                    out.push(Diagnostic {
+                        pass: self.name(),
+                        file: artifact.rel_path.clone(),
+                        line,
+                        severity: sev,
+                        message: format!(
+                            "artifact schema version `{version}` is documented in none of: {}",
+                            ctx.config.doc_files.join(", ")
+                        ),
+                    });
+                }
+            }
+            None => {
+                out.push(anchor_missing(self.name(), sev, artifact, "const ARTIFACT_SCHEMA"));
+            }
+        }
         out
     }
 }
@@ -206,6 +264,62 @@ fn table_names(file: &SourceFile, anchor: &str) -> Vec<(usize, String)> {
     out
 }
 
+/// Field names of `struct <name>`, with their 1-based lines. Same
+/// brace-depth tracking as [`enum_variants`]: a field is the
+/// (`pub`-stripped) identifier before `:` on a depth-1 line of the
+/// struct body.
+fn struct_fields(file: &SourceFile, name: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let needle = format!("struct {name}");
+    let mut depth = 0i64;
+    let mut inside = false;
+    for (i, line) in file.lines.iter().enumerate() {
+        if !inside && depth == 0 && line.code.contains(&needle) {
+            inside = true;
+            // Fall through: the opening brace may be on this line.
+        }
+        if inside {
+            if depth == 1 {
+                let code = line.code.trim_start();
+                let code = code.strip_prefix("pub ").unwrap_or(code).trim_start();
+                if let Some(ident) = leading_ident(code) {
+                    let is_field = code[ident.len()..].trim_start().starts_with(':')
+                        && ident.chars().next().is_some_and(char::is_lowercase);
+                    if is_field {
+                        out.push((i + 1, ident));
+                    }
+                }
+            }
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return out;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The first string literal on the line declaring `anchor` (e.g. the
+/// `ARTIFACT_SCHEMA` version constant), with its 1-based line.
+fn const_string(file: &SourceFile, anchor: &str) -> Option<(usize, String)> {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.code.contains(anchor) {
+            if let Some(s) = line.strings.first() {
+                return Some((i + 1, s.clone()));
+            }
+        }
+    }
+    None
+}
+
 /// Leading identifier of a stripped code line, if any.
 fn leading_ident(code: &str) -> Option<String> {
     let trimmed = code.trim_start();
@@ -273,5 +387,44 @@ pub const SCHEMES: &[(&str, u8)] = &[
         assert!(contains_name("the `tage` preset", "tage"));
         assert!(!contains_name("only tage-lsc here", "tage"));
         assert!(contains_name("| tage-lsc |", "tage-lsc"));
+    }
+
+    #[test]
+    fn extracts_struct_fields_and_schema_version() {
+        let src = "\
+pub const ARTIFACT_SCHEMA: &str = \"tage.run/1\";
+
+/// docs
+pub struct RunArtifact {
+    /// The version.
+    pub schema: String,
+    pub scheduler: Option<SchedulerBlock>,
+    pub traces: Vec<TraceRow>,
+}
+
+impl RunArtifact {
+    pub fn noop(&self) {
+        let ignored: u64 = 0;
+        let _ = ignored;
+    }
+}
+
+pub struct TraceRow {
+    pub trace: String,
+    pub penalty_cycles: u64,
+}
+";
+        let f = classify("artifact.rs", src);
+        let fs: Vec<String> =
+            struct_fields(&f, "RunArtifact").into_iter().map(|(_, v)| v).collect();
+        assert_eq!(fs, vec!["schema", "scheduler", "traces"]);
+        // Depth tracking stops at the struct's closing brace: the local
+        // `ignored:` binding inside the impl is not a field, and the
+        // second struct extracts independently.
+        let ts: Vec<String> = struct_fields(&f, "TraceRow").into_iter().map(|(_, v)| v).collect();
+        assert_eq!(ts, vec!["trace", "penalty_cycles"]);
+        let (line, version) = const_string(&f, "const ARTIFACT_SCHEMA").expect("anchor");
+        assert_eq!((line, version.as_str()), (1, "tage.run/1"));
+        assert!(const_string(&f, "const MISSING").is_none());
     }
 }

@@ -1,0 +1,18 @@
+//! Fixture run-artifact schema for the doc-sync pass.
+//!
+//! Plants one undocumented `TraceRow` field (`phantom_counter`) and a
+//! schema version bump (`tage.run/99`) the fixture DESIGN.md does not
+//! mention; the documented fields (`schema`, `traces`, `trace`) are the
+//! quiet decoys.
+
+pub const ARTIFACT_SCHEMA: &str = "tage.run/99";
+
+pub struct RunArtifact {
+    pub schema: String,
+    pub traces: Vec<TraceRow>,
+}
+
+pub struct TraceRow {
+    pub trace: String,
+    pub phantom_counter: u64,
+}

@@ -35,7 +35,9 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
             ("panic-policy", 1),      // parse_count's unwrap
             ("exhaustiveness-guard", 1), // classify's bare `_ =>`
             ("atomics-ordering", 1),  // read_counter's Relaxed load
-            ("doc-sync", 3),          // PhantomVariant + undocumented-preset + phantom-scheme
+            // PhantomVariant + undocumented-preset + phantom-scheme
+            // + phantom_counter artifact field + tage.run/99 version bump
+            ("doc-sync", 5),
         ],
         "full report:\n{}",
         tage_lint::render_text(&report)
@@ -55,6 +57,8 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
     assert!(has("doc-sync", "crates/core/src/spec.rs", "PhantomVariant"));
     assert!(has("doc-sync", "crates/core/src/spec.rs", "undocumented-preset"));
     assert!(has("doc-sync", "crates/traces/src/scheme.rs", "phantom-scheme"));
+    assert!(has("doc-sync", "crates/harness/src/artifact.rs", "phantom_counter"));
+    assert!(has("doc-sync", "crates/harness/src/artifact.rs", "tage.run/99"));
 
     // doc-sync stays advisory without --deny-all...
     assert!(report

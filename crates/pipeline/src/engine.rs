@@ -8,10 +8,10 @@
 //! predictor tables are updated according to the chosen scenario.
 
 use crate::core_model::CoreModel;
-use crate::report::SimReport;
+use crate::report::{BranchProfile, BranchStat, SimReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use simkit::stats::AccessStats;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use workloads::event::{EventBlock, EventSource, Trace, TraceEvent, TraceStream};
 
 /// Default block size for the batched drivers ([`simulate_source_batched`],
@@ -27,11 +27,16 @@ pub struct PipelineConfig {
     pub retire_lag: usize,
     /// Core timing model (execute lags, penalties, caches).
     pub core: CoreModel,
+    /// Collect per-static-branch counters ([`BranchProfile`]) during
+    /// simulation. Off by default: the collector never perturbs prediction
+    /// (it only observes outcomes already computed), so reports with it on
+    /// match the aggregate counters of reports with it off bit-for-bit.
+    pub branch_stats: bool,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { retire_lag: 32, core: CoreModel::default() }
+        Self { retire_lag: 32, core: CoreModel::default(), branch_stats: false }
     }
 }
 
@@ -43,7 +48,7 @@ impl PipelineConfig {
     /// two configs differing in any knob can never silently share a memo
     /// entry.
     pub fn fingerprint(&self) -> u64 {
-        let Self { retire_lag, core } = self;
+        let Self { retire_lag, core, branch_stats } = self;
         let CoreModel { memory, refill_penalty, min_exec_lag } = core;
         let mut h = 0xCBF29CE484222325u64;
         let mut mix = |v: u64| {
@@ -51,6 +56,9 @@ impl PipelineConfig {
             h = h.wrapping_mul(0x100000001B3);
         };
         mix(*retire_lag as u64);
+        // branch_stats cannot change any aggregate counter, but a memoized
+        // report without a profile must not satisfy a request with one.
+        mix(*branch_stats as u64);
         mix(*refill_penalty);
         mix(*min_exec_lag as u64);
         for w in memory.config_words() {
@@ -92,6 +100,11 @@ struct WindowState<F> {
     penalty: u64,
     uops: u64,
     conditionals: u64,
+    // Opt-in per-static-branch accumulators (`PipelineConfig::branch_stats`).
+    // `None` on the default path, so the only cost when off is one branch
+    // per conditional; collection reads only values `step` already
+    // computed, so it can never perturb prediction.
+    profile: Option<HashMap<u64, BranchStat>>,
 }
 
 impl<F> WindowState<F> {
@@ -109,6 +122,7 @@ impl<F> WindowState<F> {
             penalty: 0,
             uops: 0,
             conditionals: 0,
+            profile: cfg.branch_stats.then(HashMap::new),
         }
     }
 
@@ -129,9 +143,18 @@ impl<F> WindowState<F> {
         self.conditionals += 1;
         let (pred, mut flight) = predictor.predict(&b);
         let (resolution, exec_lag) = self.core.resolve(ev.load_addr);
+        let mut event_penalty = 0;
         if pred != ev.taken {
             self.mispredicts += 1;
-            self.penalty += self.core.mispredict_penalty(resolution);
+            event_penalty = self.core.mispredict_penalty(resolution);
+            self.penalty += event_penalty;
+        }
+        if let Some(profile) = &mut self.profile {
+            let stat = profile.entry(b.pc).or_insert_with(|| BranchStat::new(b.pc));
+            stat.executions += 1;
+            stat.taken += ev.taken as u64;
+            stat.mispredicts += (pred != ev.taken) as u64;
+            stat.penalty_cycles += event_penalty;
         }
         predictor.fetch_commit(&b, ev.taken, &mut flight);
 
@@ -208,6 +231,7 @@ impl<F> WindowState<F> {
             mispredicts: self.mispredicts,
             penalty_cycles: self.penalty,
             stats: predictor.stats(),
+            branches: self.profile.as_ref().map(BranchProfile::from_map),
         }
     }
 }
@@ -605,6 +629,63 @@ mod tests {
                 assert_eq!(r, scalar, "engine batch {batch} diverged under {scenario}");
             }
         }
+    }
+
+    #[test]
+    fn branch_profile_sums_to_aggregate_for_every_scenario() {
+        // The tentpole invariant: per-branch counters partition the
+        // aggregate exactly, under every §4.1.2 update scenario (each
+        // exercises the window bookkeeping differently).
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig { branch_stats: true, ..PipelineConfig::default() };
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            let r = simulate_source(
+                &mut tage::TageSystem::isl_tage(),
+                &mut spec.stream(),
+                scenario,
+                &cfg,
+            );
+            let p = r.branches.as_ref().expect("branch_stats=true attaches a profile");
+            assert_eq!(p.total_executions(), r.conditionals, "executions diverged under {scenario}");
+            assert_eq!(p.total_mispredicts(), r.mispredicts, "mispredicts diverged under {scenario}");
+            assert_eq!(
+                p.total_penalty_cycles(),
+                r.penalty_cycles,
+                "penalty diverged under {scenario}"
+            );
+            assert!(p.total_taken() <= p.total_executions());
+            assert!(!p.branches.is_empty());
+            // Sorted ascending by PC (deterministic serialization order).
+            assert!(p.branches.windows(2).all(|w| w[0].pc < w[1].pc));
+        }
+    }
+
+    #[test]
+    fn branch_profile_identical_across_drivers_and_free_when_off() {
+        // All three drivers share `step`, so the profile — not just the
+        // aggregate — must match bit-for-bit; and switching collection on
+        // must leave every aggregate counter untouched.
+        let spec = by_name("MM05", Scale::Tiny).unwrap();
+        let scenario = UpdateScenario::RereadAtRetire;
+        let off = PipelineConfig::default();
+        let on = PipelineConfig { branch_stats: true, ..PipelineConfig::default() };
+        assert_ne!(off.fingerprint(), on.fingerprint());
+        let plain = simulate_source(&mut Gshare::new(12), &mut spec.stream(), scenario, &off);
+        assert!(plain.branches.is_none());
+        let scalar = simulate_source(&mut Gshare::new(12), &mut spec.stream(), scenario, &on);
+        let batched =
+            simulate_source_batched(&mut Gshare::new(12), &mut spec.stream(), scenario, &on, 64);
+        let mut engine: Box<dyn BlockSim> =
+            Box::new(WindowEngine::new(Gshare::new(12), scenario, &on));
+        let engined = simulate_engine(&mut *engine, &mut spec.stream(), 64);
+        assert_eq!(scalar, batched);
+        assert_eq!(scalar, engined);
+        // Aggregates unchanged by collection.
+        assert_eq!(plain.mispredicts, scalar.mispredicts);
+        assert_eq!(plain.penalty_cycles, scalar.penalty_cycles);
+        assert_eq!(plain.conditionals, scalar.conditionals);
+        assert_eq!(plain.uops, scalar.uops);
+        assert_eq!(plain.stats, scalar.stats);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use engine::{
     simulate, simulate_engine, simulate_source, simulate_source_batched, simulate_suite, BlockSim,
     PipelineConfig, WindowEngine, DEFAULT_BATCH,
 };
-pub use report::{SimReport, SuiteReport};
+pub use report::{BranchProfile, BranchStat, SimReport, SuiteReport};

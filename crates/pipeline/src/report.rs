@@ -7,6 +7,94 @@
 use simkit::predictor::UpdateScenario;
 use simkit::stats::AccessStats;
 
+/// Counters for one static branch, collected by the opt-in per-branch
+/// profiler (`PipelineConfig::branch_stats`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchStat {
+    /// Static branch instruction address.
+    pub pc: u64,
+    /// Times the conditional branch was fetched and predicted.
+    pub executions: u64,
+    /// Times the resolved direction was taken.
+    pub taken: u64,
+    /// Mispredictions charged to this branch.
+    pub mispredicts: u64,
+    /// Misprediction penalty cycles charged to this branch.
+    pub penalty_cycles: u64,
+}
+
+impl BranchStat {
+    /// A zeroed accumulator for `pc`.
+    pub fn new(pc: u64) -> Self {
+        Self { pc, executions: 0, taken: 0, mispredicts: 0, penalty_cycles: 0 }
+    }
+
+    /// Misprediction rate over this branch's executions.
+    pub fn mispredict_rate(&self) -> f64 {
+        self.mispredicts as f64 / self.executions.max(1) as f64
+    }
+
+    /// Taken rate over this branch's executions.
+    pub fn taken_rate(&self) -> f64 {
+        self.taken as f64 / self.executions.max(1) as f64
+    }
+}
+
+/// The per-static-branch profile of one simulation: one [`BranchStat`] per
+/// distinct PC, sorted by ascending PC. The sort makes equality structural
+/// and serialization deterministic regardless of hash-map iteration order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Per-branch counters, ascending by `pc`.
+    pub branches: Vec<BranchStat>,
+}
+
+impl BranchProfile {
+    /// Builds a profile from raw per-PC accumulators, sorting by PC.
+    pub fn from_map(map: &std::collections::HashMap<u64, BranchStat>) -> Self {
+        let mut branches: Vec<BranchStat> = map.values().copied().collect();
+        branches.sort_unstable_by_key(|s| s.pc);
+        Self { branches }
+    }
+
+    /// The `n` worst branches by mispredict count (ties broken by lower
+    /// PC), descending — the rows a hot-branch table wants.
+    pub fn top_by_mispredicts(&self, n: usize) -> Vec<BranchStat> {
+        let mut v = self.branches.clone();
+        v.sort_by(|a, b| b.mispredicts.cmp(&a.mispredicts).then(a.pc.cmp(&b.pc)));
+        v.truncate(n);
+        v
+    }
+
+    /// Keeps only the `n` worst branches by mispredict count, restoring
+    /// the ascending-PC invariant afterwards.
+    pub fn truncated(&self, n: usize) -> Self {
+        let mut branches = self.top_by_mispredicts(n);
+        branches.sort_unstable_by_key(|s| s.pc);
+        Self { branches }
+    }
+
+    /// Total executions across all recorded branches.
+    pub fn total_executions(&self) -> u64 {
+        self.branches.iter().map(|s| s.executions).sum()
+    }
+
+    /// Total taken outcomes across all recorded branches.
+    pub fn total_taken(&self) -> u64 {
+        self.branches.iter().map(|s| s.taken).sum()
+    }
+
+    /// Total mispredictions across all recorded branches.
+    pub fn total_mispredicts(&self) -> u64 {
+        self.branches.iter().map(|s| s.mispredicts).sum()
+    }
+
+    /// Total penalty cycles across all recorded branches.
+    pub fn total_penalty_cycles(&self) -> u64 {
+        self.branches.iter().map(|s| s.penalty_cycles).sum()
+    }
+}
+
 /// Result of simulating one predictor over one trace.
 ///
 /// `PartialEq` compares every counter bit-for-bit — the equivalence tests
@@ -32,6 +120,10 @@ pub struct SimReport {
     pub penalty_cycles: u64,
     /// Predictor-table access counters.
     pub stats: AccessStats,
+    /// Per-static-branch profile; `None` unless
+    /// `PipelineConfig::branch_stats` opted in (the default path carries
+    /// no collection cost and compares equal to pre-profiler reports).
+    pub branches: Option<BranchProfile>,
 }
 
 impl SimReport {
@@ -186,6 +278,7 @@ mod tests {
                 effective_writes: mispredicts * 2,
                 silent_writes_avoided: 50_000,
             },
+            branches: None,
         }
     }
 
@@ -217,6 +310,32 @@ mod tests {
         assert!((s.mppki_of(&hard) - 2311.0).abs() < 1e-6);
         assert!((s.mppki_excluding(&hard) - 196.0).abs() < 1e-6);
         assert!(s.mispredict_share(&hard) > 0.9);
+    }
+
+    #[test]
+    fn branch_profile_sorts_and_ranks() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(0x30, BranchStat { pc: 0x30, executions: 10, taken: 4, mispredicts: 7, penalty_cycles: 210 });
+        map.insert(0x10, BranchStat { pc: 0x10, executions: 90, taken: 80, mispredicts: 2, penalty_cycles: 60 });
+        map.insert(0x20, BranchStat { pc: 0x20, executions: 50, taken: 25, mispredicts: 7, penalty_cycles: 175 });
+        let p = BranchProfile::from_map(&map);
+        // Ascending PC regardless of hash order.
+        let pcs: Vec<u64> = p.branches.iter().map(|s| s.pc).collect();
+        assert_eq!(pcs, vec![0x10, 0x20, 0x30]);
+        // Top-N descends by mispredicts, ties broken by lower PC.
+        let top = p.top_by_mispredicts(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!((top[0].pc, top[1].pc), (0x20, 0x30));
+        // Truncation restores ascending-PC order.
+        let t = p.truncated(2);
+        assert_eq!(t.branches[0].pc, 0x20);
+        assert_eq!(t.branches[1].pc, 0x30);
+        assert_eq!(p.total_executions(), 150);
+        assert_eq!(p.total_taken(), 109);
+        assert_eq!(p.total_mispredicts(), 16);
+        assert_eq!(p.total_penalty_cycles(), 445);
+        assert!((p.branches[0].mispredict_rate() - 2.0 / 90.0).abs() < 1e-12);
+        assert!((p.branches[0].taken_rate() - 80.0 / 90.0).abs() < 1e-12);
     }
 
     #[test]
