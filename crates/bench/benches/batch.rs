@@ -15,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pipeline::{simulate_engine, simulate_source, PipelineConfig, WindowEngine, DEFAULT_BATCH};
 use simkit::UpdateScenario;
 use std::hint::black_box;
-use workloads::event::TraceStream;
+use workloads::event::{prefetch_event, TraceStream, EVENT_PREFETCH_AHEAD};
 
 fn batch(c: &mut Criterion) {
     let trace = bench_trace("CLIENT08");
@@ -64,6 +64,32 @@ fn batch(c: &mut Criterion) {
             let mut e = WindowEngine::new(baselines::Gshare::cbp_512k(), scenario, &cfg);
             black_box(simulate_engine(&mut e, &mut TraceStream::new(&trace), DEFAULT_BATCH))
         })
+    });
+    // The event-prefetch pair: the block engines' consumption pattern —
+    // sequential event reads interleaved with quasi-random table traffic
+    // that evicts the event buffer — with and without the software hint
+    // the hot loops issue (`prefetch_event`, EVENT_PREFETCH_AHEAD events
+    // ahead). The table is predictor-sized (512 K entries, 4 MiB) so its
+    // misses contend with the event stream like real tagged-bank walks.
+    let mut table = vec![0u64; 512 * 1024];
+    g.throughput(Throughput::Elements(trace.events.len() as u64));
+    let scan = |prefetch: bool, table: &mut [u64]| {
+        let mut acc = 0u64;
+        for (i, ev) in trace.events.iter().enumerate() {
+            if prefetch {
+                prefetch_event(&trace.events, i + EVENT_PREFETCH_AHEAD);
+            }
+            let slot = (ev.pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 45) as usize;
+            table[slot & (table.len() - 1)] ^= ev.target ^ ev.uops();
+            acc = acc.wrapping_add(ev.pc ^ ev.target);
+        }
+        acc
+    };
+    g.bench_function("event_scan_plain", |b| {
+        b.iter(|| black_box(scan(false, &mut table)))
+    });
+    g.bench_function("event_scan_prefetch", |b| {
+        b.iter(|| black_box(scan(true, &mut table)))
     });
     g.finish();
 }

@@ -13,11 +13,14 @@
 //! | `altweak` | §3.1 `USE_ALT_ON_NA` (default; bit-identical to the fused predictor) |
 //! | `always`  | always trust the provider (the no-chooser baseline)    |
 //! | `conf`    | confidence-weighted: trust whichever source counter is stronger |
+//! | `table`   | per-PC 2-bit counter table — `USE_ALT_ON_NA` selected by branch address (ISL-TAGE keeps several such counters) |
 //!
 //! Choosers report **table** storage only: the paper's 4-bit
 //! `USE_ALT_ON_NA` counter is control state (like the allocation tick
 //! counter and the LFSR), excluded from §3.4's 65,408-byte figure — so
-//! all three policies budget at 0 bits.
+//! the three scalar policies budget at 0 bits. `table` is the exception:
+//! its per-PC counter array is real indexed storage and budgets like any
+//! other table ([`PerPcTable::STORAGE_BITS`]).
 
 use simkit::chooser::{Chooser, ChooserView};
 use simkit::counter::SignedCounter;
@@ -103,6 +106,75 @@ impl Chooser for ConfidenceWeighted {
     }
 }
 
+/// Per-PC arbitration: a table of 2-bit `USE_ALT_ON_NA` counters
+/// selected by branch address. The paper's single counter assumes one
+/// global weak-provider policy fits every branch; ISL-TAGE observes it
+/// does not and keeps several counters selected by PC. Same semantics as
+/// [`AltOnWeak`] otherwise: the counter only arbitrates weak providers
+/// and only trains on discriminating cases.
+#[derive(Clone, Debug)]
+pub struct PerPcTable {
+    counters: Vec<SignedCounter>,
+}
+
+impl PerPcTable {
+    /// Table entries (power of two; the index is a folded PC hash).
+    pub const ENTRIES: usize = 1024;
+
+    /// Counter width in bits ("2bc": a 2-bit saturating counter).
+    pub const COUNTER_BITS: u8 = 2;
+
+    /// Chooser-owned table storage: `ENTRIES` × 2-bit counters.
+    pub const STORAGE_BITS: u64 = (Self::ENTRIES as u64) * (Self::COUNTER_BITS as u64);
+
+    /// A fresh table, every counter at 0 (trust the alternate, like the
+    /// paper's counter start).
+    pub fn new() -> Self {
+        Self { counters: vec![SignedCounter::new(Self::COUNTER_BITS); Self::ENTRIES] }
+    }
+
+    /// Folded-PC table index. Branch addresses share low-bit alignment,
+    /// so fold a higher slice in before masking.
+    fn index(pc: u64) -> usize {
+        (((pc >> 2) ^ (pc >> 12)) as usize) & (Self::ENTRIES - 1)
+    }
+
+    /// This PC's counter value (diagnostics).
+    pub fn bias(&self, pc: u64) -> i16 {
+        self.counters[Self::index(pc)].get()
+    }
+}
+
+impl Default for PerPcTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Chooser for PerPcTable {
+    fn token(&self) -> &'static str {
+        "table"
+    }
+
+    fn storage_bits(&self) -> u64 {
+        Self::STORAGE_BITS
+    }
+
+    fn choose(&self, v: &ChooserView) -> bool {
+        if v.has_provider && v.provider_weak && self.counters[Self::index(v.pc)].get() >= 0 {
+            v.alt_pred
+        } else {
+            v.provider_pred
+        }
+    }
+
+    fn update(&mut self, v: &ChooserView, outcome: bool) {
+        if v.has_provider && v.provider_weak && v.provider_pred != v.alt_pred {
+            self.counters[Self::index(v.pc)].update(v.alt_pred == outcome);
+        }
+    }
+}
+
 /// Which chooser policy fills the slot — the spec-grammar form
 /// (`tage(chooser=...)`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -114,6 +186,8 @@ pub enum ChooserChoice {
     AlwaysProvider,
     /// [`ConfidenceWeighted`].
     Confidence,
+    /// [`PerPcTable`].
+    Table,
 }
 
 impl ChooserChoice {
@@ -123,6 +197,7 @@ impl ChooserChoice {
             ChooserChoice::AltOnWeak => "altweak",
             ChooserChoice::AlwaysProvider => "always",
             ChooserChoice::Confidence => "conf",
+            ChooserChoice::Table => "table",
         }
     }
 
@@ -132,6 +207,7 @@ impl ChooserChoice {
             "altweak" => Some(ChooserChoice::AltOnWeak),
             "always" => Some(ChooserChoice::AlwaysProvider),
             "conf" => Some(ChooserChoice::Confidence),
+            "table" => Some(ChooserChoice::Table),
             _ => None,
         }
     }
@@ -142,6 +218,7 @@ impl ChooserChoice {
             ChooserChoice::AltOnWeak => ChooserSlot::AltOnWeak(AltOnWeak::new()),
             ChooserChoice::AlwaysProvider => ChooserSlot::Always(AlwaysProvider),
             ChooserChoice::Confidence => ChooserSlot::Confidence(ConfidenceWeighted),
+            ChooserChoice::Table => ChooserSlot::Table(PerPcTable::new()),
         }
     }
 }
@@ -157,6 +234,8 @@ pub enum ChooserSlot {
     Always(AlwaysProvider),
     /// See [`ConfidenceWeighted`].
     Confidence(ConfidenceWeighted),
+    /// See [`PerPcTable`].
+    Table(PerPcTable),
 }
 
 impl ChooserSlot {
@@ -166,6 +245,7 @@ impl ChooserSlot {
             ChooserSlot::AltOnWeak(_) => ChooserChoice::AltOnWeak,
             ChooserSlot::Always(_) => ChooserChoice::AlwaysProvider,
             ChooserSlot::Confidence(_) => ChooserChoice::Confidence,
+            ChooserSlot::Table(_) => ChooserChoice::Table,
         }
     }
 
@@ -185,6 +265,7 @@ impl ChooserSlot {
             ChooserSlot::AltOnWeak(c) => c,
             ChooserSlot::Always(c) => c,
             ChooserSlot::Confidence(c) => c,
+            ChooserSlot::Table(c) => c,
         }
     }
 
@@ -194,6 +275,7 @@ impl ChooserSlot {
             ChooserSlot::AltOnWeak(c) => c,
             ChooserSlot::Always(c) => c,
             ChooserSlot::Confidence(c) => c,
+            ChooserSlot::Table(c) => c,
         }
     }
 }
@@ -221,7 +303,12 @@ mod tests {
     use super::*;
 
     fn view(provider_pred: bool, alt_pred: bool, weak: bool) -> ChooserView {
+        view_at(0x40, provider_pred, alt_pred, weak)
+    }
+
+    fn view_at(pc: u64, provider_pred: bool, alt_pred: bool, weak: bool) -> ChooserView {
         ChooserView {
+            pc,
             has_provider: true,
             provider_pred,
             alt_pred,
@@ -272,7 +359,35 @@ mod tests {
     }
 
     #[test]
-    fn slot_round_trips_choice_and_budgets_zero() {
+    fn per_pc_table_learns_independent_policies_per_branch() {
+        let mut c = PerPcTable::new();
+        let (hot, cold) = (0x1000u64, 0x2004u64);
+        assert_ne!(PerPcTable::index(hot), PerPcTable::index(cold), "test PCs must not alias");
+        // Fresh counters start at 0 (>= 0): weak providers defer to the
+        // alternate, exactly like the paper's global counter.
+        assert!(!c.choose(&view_at(hot, true, false, true)));
+        // The hot branch's provider keeps winning its weak cases: only
+        // that PC's policy flips.
+        for _ in 0..4 {
+            c.update(&view_at(hot, true, false, true), true);
+        }
+        assert!(c.bias(hot) < 0);
+        assert!(c.choose(&view_at(hot, true, false, true)), "hot PC trusts its provider");
+        assert!(!c.choose(&view_at(cold, true, false, true)), "cold PC still defers");
+        // Strong providers and non-discriminating cases never train.
+        let bias = c.bias(hot);
+        c.update(&view_at(hot, true, false, false), false);
+        c.update(&view_at(hot, true, true, true), false);
+        assert_eq!(c.bias(hot), bias);
+        // A 2-bit counter saturates instead of wrapping.
+        for _ in 0..40 {
+            c.update(&view_at(hot, true, false, true), false);
+        }
+        assert_eq!(c.bias(hot), 1);
+    }
+
+    #[test]
+    fn slot_round_trips_choice_and_budgets_tables_only() {
         for choice in
             [ChooserChoice::AltOnWeak, ChooserChoice::AlwaysProvider, ChooserChoice::Confidence]
         {
@@ -282,6 +397,12 @@ mod tests {
             // Control state only — see the module docs.
             assert_eq!(Chooser::storage_bits(&slot), 0);
         }
+        // The per-PC table is real indexed storage and budgets as such.
+        assert_eq!(ChooserChoice::from_token("table"), Some(ChooserChoice::Table));
+        let slot = ChooserChoice::Table.build();
+        assert_eq!(slot.choice(), ChooserChoice::Table);
+        assert_eq!(Chooser::storage_bits(&slot), PerPcTable::STORAGE_BITS);
+        assert_eq!(PerPcTable::STORAGE_BITS, 2048);
         assert_eq!(ChooserChoice::from_token("sometimes"), None);
         assert_eq!(ChooserChoice::default().build().alt_on_weak_bias(), Some(0));
         assert_eq!(ChooserChoice::AlwaysProvider.build().alt_on_weak_bias(), None);

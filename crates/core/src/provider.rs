@@ -154,6 +154,13 @@ mod tests {
             ProviderStack::with_choices(&cfg, BaseChoice::default(), ChooserChoice::AlwaysProvider);
         assert_eq!(chooser_only.decoration(), "(chooser=always)");
         assert_eq!(chooser_only.storage_bits(), cfg.storage_bits());
+        // The per-PC chooser table is the one policy with real storage:
+        // its bits land on the chooser row and in the stack total.
+        let table =
+            ProviderStack::with_choices(&cfg, BaseChoice::default(), ChooserChoice::Table);
+        assert_eq!(table.decoration(), "(chooser=table)");
+        assert_eq!(table.budget()[2], ("tage.chooser", crate::chooser::PerPcTable::STORAGE_BITS));
+        assert_eq!(table.storage_bits(), cfg.storage_bits() + crate::chooser::PerPcTable::STORAGE_BITS);
     }
 
     #[test]

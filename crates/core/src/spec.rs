@@ -17,7 +17,7 @@
 //!                    [ ":lsc" | ":b" N "," L1 "," LMAX ]
 //!                    [ ":h" L1 "," LMAX ] [ ":x" DELTA ]
 //! param    := "base=" ( "bimodal" | "2bc" | "gshare" )
-//!           | "chooser=" ( "altweak" | "always" | "conf" )
+//!           | "chooser=" ( "altweak" | "always" | "conf" | "table" )
 //! stage    := "ium" [ ":" CAPACITY ]
 //!           | "sc"
 //!           | "lsc" [ ":2lht" ] [ ":x" DELTA ]
@@ -592,7 +592,7 @@ fn parse_provider_params(inner: &str, provider: &mut ProviderSpec) -> Result<(),
                 provider.chooser = ChooserChoice::from_token(value).ok_or_else(|| {
                     SpecError::BadProviderParam {
                         param: kv.to_string(),
-                        reason: "chooser must be one of altweak, always, conf",
+                        reason: "chooser must be one of altweak, always, conf, table",
                     }
                 })?;
             }

@@ -128,13 +128,15 @@ struct UpdateView {
 
 impl UpdateView {
     /// The chooser's digest of this view: provider/alternate candidates
-    /// with their centered-counter strengths.
-    fn chooser_view(&self) -> ChooserView {
+    /// with their centered-counter strengths. `pc` is the branch address
+    /// (per-PC policies index by it).
+    fn chooser_view(&self, pc: u64) -> ChooserView {
         let strength = |t: Option<u8>| match t {
             Some(t) => tagged_centered(self.ctrs[t as usize]).abs(),
             None => base_centered(self.base).abs(),
         };
         ChooserView {
+            pc,
             has_provider: self.provider.is_some(),
             provider_pred: self.provider_pred,
             alt_pred: self.alt_pred,
@@ -384,7 +386,7 @@ impl Predictor for Tage {
         flight.provider_pred = view.provider_pred;
         flight.alt_pred = view.alt_pred;
         flight.weak = view.weak;
-        flight.tage_pred = self.provider.chooser().choose(&view.chooser_view());
+        flight.tage_pred = self.provider.chooser().choose(&view.chooser_view(b.pc));
         (flight.tage_pred, flight)
     }
 
@@ -397,7 +399,7 @@ impl Predictor for Tage {
 
     fn retire(
         &mut self,
-        _b: &BranchInfo,
+        b: &BranchInfo,
         outcome: bool,
         predicted: bool,
         flight: TageFlight,
@@ -442,7 +444,7 @@ impl Predictor for Tage {
         // The chooser learns from every retire-time view (the policies
         // gate themselves; `USE_ALT_ON_NA` trains only on discriminating
         // weak-provider cases, §3.1).
-        self.provider.chooser_mut().update(&view.chooser_view(), outcome);
+        self.provider.chooser_mut().update(&view.chooser_view(b.pc), outcome);
 
         // Allocation on TAGE mispredictions (§3.2.1). The trigger is the
         // *fetch-time* TAGE prediction: that is what steered the pipeline.

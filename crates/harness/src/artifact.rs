@@ -34,8 +34,12 @@ use std::path::{Path, PathBuf};
 /// field addition, removal, or meaning change — `tage_exp report`
 /// refuses documents whose schema string differs, so mixed-version
 /// comparisons fail loudly instead of diffing silently misaligned
-/// counters. The DESIGN.md §7 schema table documents this version (the
-/// `tage_lint` doc-sync pass pins the two against each other).
+/// counters. Exception: *optional* blocks (`sampling`) may be added
+/// without a bump — the parser treats a missing optional block as
+/// absent, so pre-existing `/1` documents keep loading and counters
+/// never shift meaning. The DESIGN.md §7 schema table documents this
+/// version (the `tage_lint` doc-sync pass pins the two against each
+/// other).
 pub const ARTIFACT_SCHEMA: &str = "tage.run/1";
 
 /// One run artifact: a predictor composition simulated over a trace
@@ -62,8 +66,35 @@ pub struct RunArtifact {
     /// hits, never wall time). `None` for runs that bypass the suite
     /// scheduler (trace mode).
     pub scheduler: Option<SchedulerBlock>,
+    /// Sampling parameters when the counters come from a sampled run
+    /// (`tage_exp sample`): the per-trace rows then hold summed per-slice
+    /// counters, and MPPKI derived from them is the fixed-interval
+    /// estimate, not a full-run measurement. `None` for full runs —
+    /// including every pre-sampling `tage.run/1` document (the parser
+    /// tolerates the missing field).
+    pub sampling: Option<SamplingBlock>,
     /// Per-trace counters, in suite order.
     pub traces: Vec<TraceRow>,
+}
+
+/// Sampling parameters of a sampled-run artifact — enough to reproduce
+/// the phase placement (`fixed_interval(total_events, phases, warmup,
+/// measure, seed)` per trace) and to judge the estimate's coverage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SamplingBlock {
+    /// Requested slices per trace.
+    pub phases: u64,
+    /// Warmup events per slice (trained, not scored).
+    pub warmup: u64,
+    /// Measured events per slice.
+    pub measure: u64,
+    /// Jitter seed of the fixed-interval selector.
+    pub seed: u64,
+    /// Events across all sampled files (the estimated population).
+    pub total_events: u64,
+    /// Events actually fed to each predictor (warmup + measure, summed
+    /// over all slices of all files).
+    pub simulated_events: u64,
 }
 
 /// Deterministic scheduler counters embedded in an artifact — the
@@ -233,8 +264,15 @@ impl RunArtifact {
             scenario: scenario.label().to_string(),
             scale: scale.to_string(),
             scheduler,
+            sampling: None,
             traces,
         }
+    }
+
+    /// Marks the artifact as a sampled run.
+    pub fn with_sampling(mut self, sampling: SamplingBlock) -> Self {
+        self.sampling = Some(sampling);
+        self
     }
 
     /// Reconstructs the suite report: every counter round-trips exactly;
@@ -343,6 +381,13 @@ impl RunArtifact {
             )),
             None => out.push_str("  \"scheduler\": null,\n"),
         }
+        match &self.sampling {
+            Some(s) => out.push_str(&format!(
+                "  \"sampling\": {{\"phases\": {}, \"warmup\": {}, \"measure\": {}, \"seed\": {}, \"total_events\": {}, \"simulated_events\": {}}},\n",
+                s.phases, s.warmup, s.measure, s.seed, s.total_events, s.simulated_events
+            )),
+            None => out.push_str("  \"sampling\": null,\n"),
+        }
         out.push_str("  \"traces\": [\n");
         for (i, t) in self.traces.iter().enumerate() {
             out.push_str(&format!(
@@ -414,6 +459,24 @@ impl RunArtifact {
                 )))
             }
         };
+        // Optional block: absent in pre-sampling `/1` documents.
+        let sampling = match value.field("sampling") {
+            Err(_) | Ok(Value::Null) => None,
+            Ok(obj @ Value::Obj(_)) => Some(SamplingBlock {
+                phases: obj.int_field("phases")?,
+                warmup: obj.int_field("warmup")?,
+                measure: obj.int_field("measure")?,
+                seed: obj.int_field("seed")?,
+                total_events: obj.int_field("total_events")?,
+                simulated_events: obj.int_field("simulated_events")?,
+            }),
+            Ok(other) => {
+                return Err(ArtifactError(format!(
+                    "field `sampling` must be an object or null, got {}",
+                    other.kind()
+                )))
+            }
+        };
         let mut traces = Vec::new();
         for t in value.arr_field("traces")? {
             let mut branches = Vec::new();
@@ -447,6 +510,7 @@ impl RunArtifact {
             scenario,
             scale: value.str_field("scale")?.to_string(),
             scheduler,
+            sampling,
             traces,
         })
     }
@@ -758,6 +822,7 @@ mod tests {
                 sim_jobs_requested: 80,
                 suite_memo_hits: 1,
             }),
+            sampling: None,
             traces: vec![TraceRow {
                 trace: "CLIENT01".to_string(),
                 category: "CLIENT".to_string(),
@@ -803,6 +868,43 @@ mod tests {
             // And the re-render is byte-identical (canonical form).
             assert_eq!(text, b.to_json());
         }
+    }
+
+    #[test]
+    fn sampling_block_round_trips_and_missing_field_is_tolerated() {
+        let a = sample(false, false).with_sampling(SamplingBlock {
+            phases: 8,
+            warmup: 10_000,
+            measure: 40_000,
+            seed: 7,
+            total_events: 4_000_000,
+            simulated_events: 400_000,
+        });
+        let text = a.to_json();
+        assert!(text.contains("\"sampling\": {\"phases\": 8"));
+        let b = RunArtifact::from_json(&text).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(text, b.to_json());
+
+        // A pre-sampling document (no `sampling` field at all) still
+        // loads: the optional block defaults to None.
+        let legacy: String =
+            sample(true, true).to_json().lines().filter(|l| !l.contains("\"sampling\"")).fold(
+                String::new(),
+                |mut s, l| {
+                    s.push_str(l);
+                    s.push('\n');
+                    s
+                },
+            );
+        let c = RunArtifact::from_json(&legacy).unwrap();
+        assert_eq!(c.sampling, None);
+        assert_eq!(c.traces, sample(true, true).traces);
+
+        // But a wrongly typed block fails loudly.
+        let bad = sample(false, false).to_json().replace("\"sampling\": null", "\"sampling\": 3");
+        let err = RunArtifact::from_json(&bad).unwrap_err();
+        assert!(err.to_string().contains("sampling"), "{err}");
     }
 
     #[test]

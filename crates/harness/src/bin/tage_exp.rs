@@ -41,8 +41,9 @@
 //! rankings, and MPPKI diffs against the first artifact as baseline
 //! (`--fail-over PCT` makes regressions fail the exit code for CI).
 
-use harness::artifact::{collect_paths, RunArtifact, SchedulerBlock};
+use harness::artifact::{collect_paths, RunArtifact, SamplingBlock, SchedulerBlock};
 use harness::experiments::{by_id, prefetch, ALL_EXPERIMENTS, EXPERIMENTS};
+use harness::sample_mode::{self, SampleOptions};
 use harness::spec::PAPER_BUDGET_BITS;
 use harness::{trace_mode, ExpContext, ExpOptions, PredictorSpec, Table};
 use pipeline::SuiteReport;
@@ -54,6 +55,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("trace") => std::process::exit(trace_files_mode(&args[1..])),
+        Some("sample") => std::process::exit(sample_files_mode(&args[1..])),
         Some("system") => std::process::exit(system_mode(&args[1..])),
         Some("budgets") => std::process::exit(budgets_mode()),
         Some("report") => std::process::exit(report_mode(&args[1..])),
@@ -273,6 +275,9 @@ fn print_usage() {
     println!("       tage_exp budgets");
     println!("       tage_exp trace <file...> [--threads N] [--batch auto|0|N]");
     println!("                [--artifacts DIR] [--branch-stats] [--top N]");
+    println!("       tage_exp sample <file...> [--phases N] [--warmup W] [--measure M]");
+    println!("                [--seed S] [--spec SPEC]... [--full-check PCT]");
+    println!("                [--threads N] [--batch auto|N] [--artifacts DIR] [--top N]");
     println!("       tage_exp report <artifact|dir...> [--top N] [--fail-over PCT]");
     println!("  --threads N   scheduler worker threads (default: CPUs, max 16)");
     println!("  --stream      regenerate traces inside each job (no suite materialization)");
@@ -296,6 +301,12 @@ fn print_usage() {
     println!("                   (.ttr / .ttr3 / cbp / csv, format autodetected)");
     println!("  --batch N        trace mode: events decoded per engine dispatch");
     println!("                   (auto: {}; 0: the scalar reference route)", pipeline::DEFAULT_BATCH);
+    println!("  sample <file...> sampled simulation: fixed-interval warmup/measure");
+    println!("                   slices, one pool job per (spec x slice), weighted");
+    println!("                   whole-trace MPPKI estimate (defaults: 8 phases,");
+    println!("                   10k warmup + 40k measure, the trace-mode matrix)");
+    println!("  --full-check PCT sample mode: also run every (spec, file) in full and");
+    println!("                   exit 1 when any sampled MPPKI is off by > PCT percent");
     println!("  TAGE_TRACE_CACHE=<dir>  persist generated traces across runs");
     println!("  TAGE_NO_PREFETCH=1      disable eager cross-experiment suite prefetch");
     println!("experiments:");
@@ -603,6 +614,216 @@ fn trace_files_mode(args: &[String]) -> i32 {
     }
 }
 
+/// `tage_exp sample <file...>`: sampled simulation — fixed-interval
+/// warmup/measure slices per file, one pool job per (spec × slice), exact
+/// weighted combine into a whole-trace MPPKI estimate. Returns the
+/// process exit code: 0 clean, 1 on simulation/artifact errors or a
+/// `--full-check` accuracy miss, 2 on usage errors.
+fn sample_files_mode(args: &[String]) -> i32 {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut spec_args: Vec<String> = Vec::new();
+    let mut artifacts: Option<PathBuf> = None;
+    let mut top = DEFAULT_TOP;
+    let mut opts = SampleOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--spec" => match it.next() {
+                Some(s) => spec_args.push(s.clone()),
+                None => {
+                    eprintln!("--spec expects a predictor spec");
+                    return 2;
+                }
+            },
+            "--phases" | "--warmup" | "--measure" | "--seed" => {
+                let flag = a.as_str();
+                let v = it.next().map(String::as_str).unwrap_or("");
+                let Ok(n) = v.parse::<u64>() else {
+                    eprintln!("{flag} expects an unsigned integer (got '{v}')");
+                    return 2;
+                };
+                match flag {
+                    "--phases" if n == 0 => {
+                        eprintln!("--phases expects a positive integer");
+                        return 2;
+                    }
+                    "--phases" => opts.phases = n,
+                    "--warmup" => opts.warmup = n,
+                    "--measure" => opts.measure = n,
+                    _ => opts.seed = n,
+                }
+            }
+            "--threads" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(t) if t >= 1 => opts.threads = Some(t),
+                    _ => {
+                        eprintln!("--threads expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--batch" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                opts.batch = match v {
+                    "auto" => pipeline::DEFAULT_BATCH,
+                    _ => match v.parse::<usize>() {
+                        Ok(n) if n >= 1 => n,
+                        _ => {
+                            eprintln!("--batch expects 'auto' or a block size (got '{v}')");
+                            return 2;
+                        }
+                    },
+                };
+            }
+            "--full-check" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<f64>() {
+                    Ok(p) if p >= 0.0 => opts.full_check = Some(p),
+                    _ => {
+                        eprintln!("--full-check expects a non-negative percentage (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--artifacts" => match it.next() {
+                Some(dir) => artifacts = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--artifacts expects a directory");
+                    return 2;
+                }
+            },
+            "--top" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = n,
+                    _ => {
+                        eprintln!("--top expects a positive integer (got '{v}')");
+                        return 2;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return 0;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}' for sample mode");
+                return 2;
+            }
+            other => files.push(other.into()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("sample mode: no trace files given");
+        print_usage();
+        return 2;
+    }
+    if opts.measure == 0 {
+        eprintln!("sample mode: --measure must be positive (nothing would be scored)");
+        return 2;
+    }
+    // Default spec set: the full trace-mode matrix, so sampled and full
+    // tables line up column for column.
+    let spec_strings: Vec<String> = if spec_args.is_empty() {
+        trace_mode::MATRIX.iter().map(|(_, s)| s.to_string()).collect()
+    } else {
+        spec_args
+    };
+    let mut specs = Vec::with_capacity(spec_strings.len());
+    let mut names = Vec::with_capacity(spec_strings.len());
+    for s in &spec_strings {
+        match PredictorSpec::parse(s) {
+            Ok(spec) => {
+                names.push(
+                    trace_mode::MATRIX
+                        .iter()
+                        .find(|(_, m)| m == s)
+                        .map_or_else(|| s.clone(), |(n, _)| n.to_string()),
+                );
+                specs.push(spec);
+            }
+            Err(e) => {
+                eprintln!("bad spec '{s}': {e}");
+                return 2;
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    println!(
+        "# tage_exp sample: {} file(s), {} phase(s) x (warmup {} + measure {}), seed {}, specs: {}",
+        files.len(),
+        opts.phases,
+        opts.warmup,
+        opts.measure,
+        opts.seed,
+        names.join(", ")
+    );
+    let runs = match sample_mode::run_sampled(&files, &specs, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sample mode failed: {e}");
+            return 1;
+        }
+    };
+    print!("{}", sample_mode::render(&runs, &names, &opts));
+    if let Some(dir) = &artifacts {
+        let total: u64 = runs.iter().map(|r| r.total_events).sum();
+        let simulated: u64 = runs.iter().map(|r| r.simulated_events(&opts)).sum();
+        let block = SamplingBlock {
+            phases: opts.phases,
+            warmup: opts.warmup,
+            measure: opts.measure,
+            seed: opts.seed,
+            total_events: total,
+            simulated_events: simulated,
+        };
+        let mut wrote = 0usize;
+        for (si, spec) in specs.iter().enumerate() {
+            let suite = pipeline::SuiteReport::new(
+                runs.iter().filter_map(|r| r.sampled[si].combined_report()).collect(),
+            );
+            let art = RunArtifact::from_suite(
+                &spec.sim_key(),
+                trace_mode::MATRIX_SCENARIO,
+                "sampled",
+                &suite,
+                None,
+                top,
+            )
+            .with_sampling(block);
+            match art.write_to_dir(dir) {
+                Ok(path) => {
+                    wrote += 1;
+                    println!("# artifact: {}", path.display());
+                }
+                Err(e) => {
+                    eprintln!("artifact write failed for {}: {e}", art.file_name());
+                    return 1;
+                }
+            }
+        }
+        println!("# artifacts: {wrote} file(s) in {}", dir.display());
+    }
+    println!("# sample mode done in {:.1}s", start.elapsed().as_secs_f32());
+    if let Some(thr) = opts.full_check {
+        match sample_mode::worst_delta_pct(&runs) {
+            Some(worst) => {
+                let verdict = if worst > thr { "FAIL" } else { "ok" };
+                println!("# full-check: worst |delta| {worst:.2}% vs threshold {thr}% — {verdict}");
+                if worst > thr {
+                    return 1;
+                }
+            }
+            None => {
+                // No phases anywhere (all-empty traces): nothing to gate.
+                println!("# full-check: no sampled slices to compare");
+            }
+        }
+    }
+    0
+}
+
 /// `tage_exp report <paths...>`: render run artifacts back into tables
 /// and diff them. The first artifact (after directory expansion, sorted
 /// by file name) is the baseline every other artifact diffs against.
@@ -700,6 +921,25 @@ fn report_mode(args: &[String]) -> i32 {
         ]);
     }
     t.print();
+
+    // Sampled runs carry an estimate, not a measurement — say so next to
+    // the summary, with the coverage that produced it.
+    for (f, a, _) in &arts {
+        if let Some(s) = &a.sampling {
+            println!(
+                "# sampled: {} — {} phase(s) x (warmup {} + measure {}), seed {}, \
+                 {} of {} events ({:.1}x reduction); MPPKI is a sampling estimate",
+                f.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+                s.phases,
+                s.warmup,
+                s.measure,
+                s.seed,
+                s.simulated_events,
+                s.total_events,
+                s.total_events as f64 / s.simulated_events.max(1) as f64
+            );
+        }
+    }
 
     // Hot branches, flattened across artifacts and traces. Artifacts
     // recorded without --branch-stats contribute nothing.

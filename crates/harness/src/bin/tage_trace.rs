@@ -123,7 +123,10 @@ fn output_codec<'a>(
             let known: Vec<&str> = traces::SCHEMES.iter().map(|(n, _, _)| *n).collect();
             return Err(format!("unknown scheme '{scheme}' (known: {})", known.join(", ")));
         };
-        return Ok((None, Some(traces::Ttr3Codec { scheme_id: *scheme_id })));
+        // Recorded v3 files always carry the seekable block index — the
+        // 16-bytes-per-block footer is what makes `tage_exp sample` skip
+        // in O(1) instead of decompressing every leading block.
+        return Ok((None, Some(traces::Ttr3Codec { scheme_id: *scheme_id | traces::TTR3_INDEX_FLAG })));
     }
     match format.or(default_format) {
         Some(name) => match registry.by_name(name) {
@@ -302,6 +305,8 @@ fn cmd_inspect(args: &[String]) -> i32 {
             "scheme",
             "blocks",
             "comp/raw",
+            "index",
+            "seek",
         ],
     );
     // One JSON object per file, same fields as the text columns (the
@@ -318,7 +323,15 @@ fn cmd_inspect(args: &[String]) -> i32 {
         let mut conditionals = 0u64;
         let mut taken = 0u64;
         let mut pcs = std::collections::HashSet::new();
+        // Mid-stream pin for the seek check: the event a linear decode
+        // sees at position total/2, compared below against what an
+        // indexed `skip` lands on after re-opening the file.
+        let mid = src.expected_events().map(|t| t / 2);
+        let mut mid_event = None;
         while let Some(ev) = src.next_event() {
+            if Some(events) == mid {
+                mid_event = Some(ev);
+            }
             events += 1;
             if ev.kind.is_conditional() {
                 conditionals += 1;
@@ -329,6 +342,34 @@ fn cmd_inspect(args: &[String]) -> i32 {
         if let Err(e) = traces::finish(src.as_ref()) {
             return io_fail(f, &e);
         }
+        // Seek check (index-carrying containers only): skip(total/2) must
+        // land on exactly the event the linear decode saw there.
+        let seek_ok = match (src.container_info().and_then(|i| i.index_bytes), mid, &mid_event) {
+            (Some(_), Some(mid), Some(expect)) => {
+                let check = registry.open(path).and_then(|mut probe| {
+                    let skipped = probe.skip(mid);
+                    let got = probe.next_event();
+                    // A partial read is intentional here: check the decode
+                    // error alone, not the remaining-event shortfall.
+                    if let Some(e) = probe.decode_error() {
+                        return Err(io::Error::new(e.kind(), e.to_string()));
+                    }
+                    if skipped == mid && got.as_ref() == Some(expect) {
+                        Ok(())
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("skip({mid}) landed on {got:?}, linear decode saw {expect:?}"),
+                        ))
+                    }
+                });
+                if let Err(e) = check {
+                    return io_fail(&format!("{f}: seek check"), &e);
+                }
+                Some(true)
+            }
+            _ => None,
+        };
         let file_name = path.file_name().and_then(|s| s.to_str()).unwrap_or(f).to_string();
         let taken_pct = taken as f64 * 100.0 / conditionals.max(1) as f64;
         // Container vitals (the v3 scheme byte, block count and
@@ -337,14 +378,20 @@ fn cmd_inspect(args: &[String]) -> i32 {
         if json {
             let container = match &info {
                 Some(i) => format!(
-                    "\"scheme\": {}, \"scheme_id\": {}, \"blocks\": {}, \"comp_ratio\": {:.2}",
+                    "\"scheme\": {}, \"scheme_id\": {}, \"blocks\": {}, \"comp_ratio\": {:.2}, \
+                     \"index_bytes\": {}, \"seek_check\": {}",
                     harness::artifact::json_str(i.scheme),
                     i.scheme_id,
                     i.blocks,
-                    i.ratio()
+                    i.ratio(),
+                    i.index_bytes.map_or("null".to_string(), |b| b.to_string()),
+                    match seek_ok {
+                        Some(true) => "\"ok\"",
+                        _ => "null",
+                    },
                 ),
                 None => "\"scheme\": null, \"scheme_id\": null, \"blocks\": null, \
-                         \"comp_ratio\": null"
+                         \"comp_ratio\": null, \"index_bytes\": null, \"seek_check\": null"
                     .to_string(),
             };
             objects.push(format!(
@@ -359,13 +406,14 @@ fn cmd_inspect(args: &[String]) -> i32 {
             ));
             continue;
         }
-        let (scheme, blocks, ratio) = match info {
+        let (scheme, blocks, ratio, index) = match info {
             Some(info) => (
                 format!("{} ({})", info.scheme, info.scheme_id),
                 info.blocks.to_string(),
                 format!("{:.2}", info.ratio()),
+                info.index_bytes.map_or("-".into(), |b| format!("{b}B")),
             ),
-            None => ("-".into(), "-".into(), "-".into()),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
         };
         t.row(vec![
             file_name,
@@ -379,6 +427,11 @@ fn cmd_inspect(args: &[String]) -> i32 {
             scheme,
             blocks,
             ratio,
+            index,
+            match seek_ok {
+                Some(true) => "ok".into(),
+                _ => "-".to_string(),
+            },
         ]);
     }
     if json {

@@ -877,8 +877,12 @@ const E15_BASES: [(&str, &str); 3] = [
 ];
 
 /// The chooser-policy columns of the E15 matrix: (column label, token).
-const E15_CHOOSERS: [(&str, &str); 3] =
-    [("altweak (§3.1)", "altweak"), ("always-provider", "always"), ("conf-weighted", "conf")];
+const E15_CHOOSERS: [(&str, &str); 4] = [
+    ("altweak (§3.1)", "altweak"),
+    ("always-provider", "always"),
+    ("conf-weighted", "conf"),
+    ("per-PC table", "table"),
+];
 
 /// The spec string for one E15 cell. The default cell
 /// (`base=bimodal,chooser=altweak`) canonicalizes to plain `tage`, so it
@@ -988,8 +992,8 @@ mod tests {
     /// The provider redesign must not relabel any pre-existing cache
     /// key: E00–E14 sweep exactly 49 distinct (sim-key, scenario)
     /// suites — 1960 per-trace simulate jobs at `Scale::Tiny` — and the
-    /// anchor labels are byte-stable. (E15 adds its own 8 new suites on
-    /// top; the ninth cell aliases onto the reference suite.)
+    /// anchor labels are byte-stable. (E15 adds its own 11 new suites on
+    /// top; the twelfth cell aliases onto the reference suite.)
     #[test]
     fn e00_e14_memo_labels_and_job_count_are_stable() {
         let pre_existing = &EXPERIMENTS[..15];
@@ -1019,12 +1023,12 @@ mod tests {
                 "pre-existing memo label '{label}' disappeared"
             );
         }
-        // The full registry including E15: 8 fresh suites, one aliased.
+        // The full registry including E15: 11 fresh suites, one aliased.
         let mut all = keys.clone();
         for run in by_id("chooser-base").unwrap().runs() {
             all.insert((run.spec.sim_key(), run.scenario));
         }
-        assert_eq!(all.len(), keys.len() + 8);
+        assert_eq!(all.len(), keys.len() + 11);
     }
 
     /// The E15 default cell canonicalizes onto the reference spec, so it
@@ -1032,13 +1036,13 @@ mod tests {
     #[test]
     fn e15_default_cell_aliases_onto_the_reference_suite() {
         let runs = by_id("chooser-base").unwrap().runs();
-        assert_eq!(runs.len(), 9);
+        assert_eq!(runs.len(), 12);
         assert_eq!(runs[0].spec.sim_key(), "tage");
         assert_eq!(runs[0].spec.to_string(), "tage");
         // Every other cell is a distinct composition.
         let keys: std::collections::HashSet<String> =
             runs.iter().map(|r| r.spec.sim_key()).collect();
-        assert_eq!(keys.len(), 9);
+        assert_eq!(keys.len(), 12);
     }
 
     /// Guards the delta-0 memo aliasing: the delta-0 Figure 9 point must

@@ -13,11 +13,15 @@ pub mod artifact;
 pub mod ctx;
 pub mod experiments;
 pub mod runner;
+pub mod sample_mode;
 pub mod spec;
 pub mod table;
 pub mod trace_mode;
 
-pub use artifact::{ArtifactError, BranchRow, RunArtifact, SchedulerBlock, TraceRow, ARTIFACT_SCHEMA};
+pub use artifact::{
+    ArtifactError, BranchRow, RunArtifact, SamplingBlock, SchedulerBlock, TraceRow,
+    ARTIFACT_SCHEMA,
+};
 pub use ctx::{ExpContext, ExpOptions};
 pub use runner::{SchedulerStats, SuiteRunner, WorkerPool};
 pub use spec::PredictorSpec;

@@ -67,7 +67,7 @@ fn all_experiment_tables_match_the_checked_in_golden() {
 #[test]
 #[cfg_attr(
     debug_assertions,
-    ignore = "9-composition suite sweep; run with --release (CI does)"
+    ignore = "12-composition suite sweep; run with --release (CI does)"
 )]
 fn e15_chooser_base_matrix_matches_its_golden() {
     let ctx = ExpContext::with_options(Scale::Tiny, ExpOptions::default());

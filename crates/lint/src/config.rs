@@ -26,6 +26,13 @@ pub struct LintConfig {
     /// The file holding the `RunArtifact`/`TraceRow` run-artifact schema
     /// and the `ARTIFACT_SCHEMA` version constant.
     pub artifact_file: String,
+    /// Sampling-surface structs pinned by doc-sync, as
+    /// `(workspace-relative file, struct name)` pairs. Every field of
+    /// each struct must appear backticked in the documentation files —
+    /// the window/phase/artifact-block trio is the user-facing sampling
+    /// contract, and a field added to one of them without a doc update
+    /// is a finding.
+    pub sampling_structs: Vec<(String, String)>,
     /// Documentation files that must mention every `SpecError` variant,
     /// every `PRESETS` row, every `SCHEMES` row, every artifact schema
     /// field, and the artifact schema version (doc-sync).
@@ -37,8 +44,9 @@ impl LintConfig {
     pub fn for_workspace(root: PathBuf) -> Self {
         Self {
             root,
-            // tage-core hosts the single audited unsafe prefetch hint.
-            unsafe_allowed_crates: vec!["core".to_string()],
+            // The audited unsafe prefetch hints: tage-core's tagged-table
+            // prefetch and workloads' decoded-block prefetch.
+            unsafe_allowed_crates: vec!["core".to_string(), "workloads".to_string()],
             wildcard_guarded_files: [
                 // Trace-cache fingerprint coverage (the PR-3 stale-cache fix).
                 "crates/workloads/src/io.rs",
@@ -62,6 +70,14 @@ impl LintConfig {
             spec_file: "crates/core/src/spec.rs".to_string(),
             scheme_file: "crates/traces/src/scheme.rs".to_string(),
             artifact_file: "crates/harness/src/artifact.rs".to_string(),
+            sampling_structs: [
+                ("crates/pipeline/src/engine.rs", "SimWindow"),
+                ("crates/pipeline/src/sampling.rs", "Phase"),
+                ("crates/harness/src/artifact.rs", "SamplingBlock"),
+            ]
+            .into_iter()
+            .map(|(f, s)| (f.to_string(), s.to_string()))
+            .collect(),
             doc_files: vec!["DESIGN.md".to_string(), "EXPERIMENTS.md".to_string()],
         }
     }

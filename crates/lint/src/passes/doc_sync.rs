@@ -4,15 +4,18 @@
 //! the spec module, plus every `SCHEMES` row name from the `.ttr3`
 //! block-compression registry, plus every `RunArtifact`/`TraceRow`
 //! field and the `ARTIFACT_SCHEMA` version string from the run-artifact
-//! module, and requires each to appear in at least one of the
-//! configured documentation files (DESIGN.md / EXPERIMENTS.md — the
-//! scheme-byte table lives in DESIGN.md §3b, the artifact schema table
-//! in §7; artifact fields must appear backticked, the way the schema
-//! table renders them). A new error variant, preset, compression
-//! scheme, or artifact field that ships undocumented is a finding — as
-//! is an artifact schema version bump without a doc update; so is a
-//! source file where the extraction anchors have moved (the pass
-//! reports that instead of silently passing).
+//! module, plus every field of the pinned sampling-surface structs
+//! (`SimWindow`, `Phase`, `SamplingBlock` — the skip/warmup/measure
+//! contract of DESIGN.md §8), and requires each to appear in at least
+//! one of the configured documentation files (DESIGN.md /
+//! EXPERIMENTS.md — the scheme-byte table lives in DESIGN.md §3b, the
+//! artifact schema table in §7; artifact and sampling fields must
+//! appear backticked, the way the schema table renders them). A new
+//! error variant, preset, compression scheme, or artifact field that
+//! ships undocumented is a finding — as is an artifact schema version
+//! bump without a doc update; so is a source file where the extraction
+//! anchors have moved (the pass reports that instead of silently
+//! passing).
 //!
 //! Default severity is [`Severity::Advice`]: the CI gate runs with
 //! `--deny-all`, which promotes it, while a quick local `tage_lint check`
@@ -30,7 +33,7 @@ impl Pass for DocSync {
     }
 
     fn description(&self) -> &'static str {
-        "every SpecError variant, PRESETS/SCHEMES row, and RunArtifact schema field/version must appear in DESIGN.md/EXPERIMENTS.md"
+        "every SpecError variant, PRESETS/SCHEMES row, RunArtifact schema field/version, and sampling-surface struct field must appear in DESIGN.md/EXPERIMENTS.md"
     }
 
     fn default_severity(&self) -> Severity {
@@ -180,6 +183,42 @@ impl Pass for DocSync {
             }
             None => {
                 out.push(anchor_missing(self.name(), sev, artifact, "const ARTIFACT_SCHEMA"));
+            }
+        }
+        // Sampling-surface pinning: the window/phase/artifact-block trio
+        // is the user-facing sampling contract (DESIGN.md §8 and the
+        // `sampling` block of §7). Same backtick rule as the artifact
+        // schema — `skip` or `weight` unadorned would match prose.
+        for (rel, name) in &ctx.config.sampling_structs {
+            let Some(file) = ctx.files.iter().find(|f| &f.rel_path == rel) else {
+                out.push(Diagnostic {
+                    pass: self.name(),
+                    file: rel.clone(),
+                    line: 0,
+                    severity: sev,
+                    message: format!(
+                        "sampling-surface file (for struct {name}) not found in the walked workspace"
+                    ),
+                });
+                continue;
+            };
+            let fields = struct_fields(file, name);
+            if fields.is_empty() {
+                out.push(anchor_missing(self.name(), sev, file, &format!("struct {name}")));
+            }
+            for (line, fld) in fields {
+                if !docs.contains(&format!("`{fld}`")) {
+                    out.push(Diagnostic {
+                        pass: self.name(),
+                        file: file.rel_path.clone(),
+                        line,
+                        severity: sev,
+                        message: format!(
+                            "{name} sampling field `{fld}` is documented (backticked) in none of: {}",
+                            ctx.config.doc_files.join(", ")
+                        ),
+                    });
+                }
             }
         }
         out

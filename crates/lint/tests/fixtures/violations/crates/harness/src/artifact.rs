@@ -16,3 +16,10 @@ pub struct TraceRow {
     pub trace: String,
     pub phantom_counter: u64,
 }
+
+/// Documented sampling-block decoy: every field is backticked in the
+/// fixture DESIGN.md, so only the planted violations above fire.
+pub struct SamplingBlock {
+    pub phases: u64,
+    pub seed: u64,
+}

@@ -1,0 +1,11 @@
+//! Fixture sampling-surface window for the doc-sync pass.
+//!
+//! Plants one undocumented window field (`phantom_window_knob`); the
+//! documented fields (`skip`, `warmup`, `measure`) are the quiet decoys.
+
+pub struct SimWindow {
+    pub skip: u64,
+    pub warmup: u64,
+    pub measure: u64,
+    pub phantom_window_knob: u64,
+}

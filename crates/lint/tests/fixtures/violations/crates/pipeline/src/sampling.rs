@@ -1,0 +1,7 @@
+//! Fixture phase selector for the doc-sync pass: a fully documented
+//! sampling-surface struct that must stay quiet.
+
+pub struct Phase {
+    pub start: u64,
+    pub weight: u64,
+}

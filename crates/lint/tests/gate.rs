@@ -37,7 +37,8 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
             ("atomics-ordering", 1),  // read_counter's Relaxed load
             // PhantomVariant + undocumented-preset + phantom-scheme
             // + phantom_counter artifact field + tage.run/99 version bump
-            ("doc-sync", 5),
+            // + phantom_window_knob sampling-surface field
+            ("doc-sync", 6),
         ],
         "full report:\n{}",
         tage_lint::render_text(&report)
@@ -59,6 +60,7 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
     assert!(has("doc-sync", "crates/traces/src/scheme.rs", "phantom-scheme"));
     assert!(has("doc-sync", "crates/harness/src/artifact.rs", "phantom_counter"));
     assert!(has("doc-sync", "crates/harness/src/artifact.rs", "tage.run/99"));
+    assert!(has("doc-sync", "crates/pipeline/src/engine.rs", "phantom_window_knob"));
 
     // doc-sync stays advisory without --deny-all...
     assert!(report

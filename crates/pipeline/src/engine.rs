@@ -12,13 +12,66 @@ use crate::report::{BranchProfile, BranchStat, SimReport};
 use simkit::predictor::{Predictor, UpdateScenario};
 use simkit::stats::AccessStats;
 use std::collections::{HashMap, VecDeque};
-use workloads::event::{EventBlock, EventSource, Trace, TraceEvent, TraceStream};
+use workloads::event::{
+    prefetch_event, EventBlock, EventSource, Trace, TraceEvent, TraceStream, EVENT_PREFETCH_AHEAD,
+};
 
 /// Default block size for the batched drivers ([`simulate_source_batched`],
 /// [`simulate_engine`]). Big enough to amortize the per-block virtual
 /// calls to nothing, small enough that the reusable [`EventBlock`] stays
 /// cache-resident (~160 KiB of events).
 pub const DEFAULT_BATCH: usize = 4096;
+
+/// Skip/warmup/measure windows over the event stream (sampled
+/// simulation). Positions count *trace events* — conditional or not —
+/// matching [`EventSource::skip`] units and the `.ttr` per-block event
+/// counts, so a data-path seek and a window skip agree on where event N
+/// is.
+///
+/// * the first `skip` events are fast-forwarded: the predictor is never
+///   touched and no counter moves;
+/// * the next `warmup` events train the predictor (the full
+///   predict/update path through the in-flight window) but score
+///   nothing — [`AccessStats`] still observes their table traffic;
+/// * the next `measure` events train *and* count; everything after is
+///   fast-forwarded again (the drivers stop pulling events once the
+///   window is spent).
+///
+/// The default (`skip = 0`, `warmup = 0`, `measure = u64::MAX`) runs the
+/// identical arithmetic path as the unwindowed engine, so its reports are
+/// bit-identical to the pre-window goldens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimWindow {
+    /// Events fast-forwarded before any predictor activity.
+    pub skip: u64,
+    /// Events that train the predictor without scoring.
+    pub warmup: u64,
+    /// Events that are scored (`u64::MAX` = to the end of the trace).
+    pub measure: u64,
+}
+
+impl Default for SimWindow {
+    fn default() -> Self {
+        Self { skip: 0, warmup: 0, measure: u64::MAX }
+    }
+}
+
+impl SimWindow {
+    /// First measured event position (`skip + warmup`, saturating).
+    pub fn measure_start(&self) -> u64 {
+        self.skip.saturating_add(self.warmup)
+    }
+
+    /// One past the last measured event position (saturating).
+    pub fn end(&self) -> u64 {
+        self.measure_start().saturating_add(self.measure)
+    }
+
+    /// Whether this is the default full-trace window.
+    pub fn is_full(&self) -> bool {
+        *self == Self::default()
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -32,11 +85,19 @@ pub struct PipelineConfig {
     /// (it only observes outcomes already computed), so reports with it on
     /// match the aggregate counters of reports with it off bit-for-bit.
     pub branch_stats: bool,
+    /// Skip/warmup/measure windowing over the event stream. The default
+    /// measures every event.
+    pub window: SimWindow,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { retire_lag: 32, core: CoreModel::default(), branch_stats: false }
+        Self {
+            retire_lag: 32,
+            core: CoreModel::default(),
+            branch_stats: false,
+            window: SimWindow::default(),
+        }
     }
 }
 
@@ -48,8 +109,9 @@ impl PipelineConfig {
     /// two configs differing in any knob can never silently share a memo
     /// entry.
     pub fn fingerprint(&self) -> u64 {
-        let Self { retire_lag, core, branch_stats } = self;
+        let Self { retire_lag, core, branch_stats, window } = self;
         let CoreModel { memory, refill_penalty, min_exec_lag } = core;
+        let SimWindow { skip, warmup, measure } = window;
         let mut h = 0xCBF29CE484222325u64;
         let mut mix = |v: u64| {
             h ^= v;
@@ -64,6 +126,11 @@ impl PipelineConfig {
         for w in memory.config_words() {
             mix(w);
         }
+        // Window bounds change every counter, so a windowed report can
+        // never alias a full-run memo entry (or another window's).
+        mix(*skip);
+        mix(*warmup);
+        mix(*measure);
         h
     }
 }
@@ -100,6 +167,14 @@ struct WindowState<F> {
     penalty: u64,
     uops: u64,
     conditionals: u64,
+    // Sampled-simulation bounds (`PipelineConfig::window`), precomputed
+    // as absolute event positions: [0, skip_end) is fast-forwarded,
+    // [skip_end, measure_start) trains without counting,
+    // [measure_start, window_end) trains and counts.
+    position: u64,
+    skip_end: u64,
+    measure_start: u64,
+    window_end: u64,
     // Opt-in per-static-branch accumulators (`PipelineConfig::branch_stats`).
     // `None` on the default path, so the only cost when off is one branch
     // per conditional; collection reads only values `step` already
@@ -122,8 +197,19 @@ impl<F> WindowState<F> {
             penalty: 0,
             uops: 0,
             conditionals: 0,
+            position: 0,
+            skip_end: cfg.window.skip,
+            measure_start: cfg.window.measure_start(),
+            window_end: cfg.window.end(),
             profile: cfg.branch_stats.then(HashMap::new),
         }
+    }
+
+    /// Whether the measurement window is spent: every further event would
+    /// be fast-forwarded, so drivers may stop pulling from the source.
+    /// Never true for the default full-trace window.
+    fn complete(&self) -> bool {
+        self.position >= self.window_end
     }
 
     /// Advances the simulation by exactly one trace event. This is *the*
@@ -132,7 +218,21 @@ impl<F> WindowState<F> {
     /// sequence against the predictor.
     #[inline]
     fn step<P: Predictor<Flight = F>>(&mut self, predictor: &mut P, ev: &TraceEvent) {
-        self.uops += ev.uops();
+        // Window gating. The default full-trace window resolves to
+        // `measuring = true` on every event, taking the identical
+        // arithmetic path as the pre-window engine (golden bit-identity).
+        let pos = self.position;
+        self.position += 1;
+        if pos < self.skip_end || pos >= self.window_end {
+            // Fast-forward: skipped events never touch the predictor, the
+            // core model, or any counter — exactly as if the source had
+            // been cut before/after them.
+            return;
+        }
+        let measuring = pos >= self.measure_start;
+        if measuring {
+            self.uops += ev.uops();
+        }
         let b = ev.branch_info();
         if !b.kind.is_conditional() {
             // Non-conditional events do not occupy a fetch slot:
@@ -140,21 +240,25 @@ impl<F> WindowState<F> {
             predictor.note_uncond(&b);
             return;
         }
-        self.conditionals += 1;
+        if measuring {
+            self.conditionals += 1;
+        }
         let (pred, mut flight) = predictor.predict(&b);
         let (resolution, exec_lag) = self.core.resolve(ev.load_addr);
         let mut event_penalty = 0;
-        if pred != ev.taken {
+        if pred != ev.taken && measuring {
             self.mispredicts += 1;
             event_penalty = self.core.mispredict_penalty(resolution);
             self.penalty += event_penalty;
         }
-        if let Some(profile) = &mut self.profile {
-            let stat = profile.entry(b.pc).or_insert_with(|| BranchStat::new(b.pc));
-            stat.executions += 1;
-            stat.taken += ev.taken as u64;
-            stat.mispredicts += (pred != ev.taken) as u64;
-            stat.penalty_cycles += event_penalty;
+        if measuring {
+            if let Some(profile) = &mut self.profile {
+                let stat = profile.entry(b.pc).or_insert_with(|| BranchStat::new(b.pc));
+                stat.executions += 1;
+                stat.taken += ev.taken as u64;
+                stat.mispredicts += (pred != ev.taken) as u64;
+                stat.penalty_cycles += event_penalty;
+            }
         }
         predictor.fetch_commit(&b, ev.taken, &mut flight);
 
@@ -266,6 +370,9 @@ pub fn simulate_source<P: Predictor, S: EventSource>(
     let mut st = WindowState::new(scenario, cfg);
     while let Some(ev) = source.next_event() {
         st.step(predictor, &ev);
+        if st.complete() {
+            break;
+        }
     }
     st.drain(predictor);
     st.report(predictor, source.name(), source.category())
@@ -291,8 +398,12 @@ pub fn simulate_source_batched<P: Predictor, S: EventSource>(
     let mut st = WindowState::new(scenario, cfg);
     let mut block = EventBlock::with_capacity(batch);
     while source.next_block(&mut block, batch) > 0 {
-        for ev in &block.events {
+        for (i, ev) in block.events.iter().enumerate() {
+            block.prefetch(i + EVENT_PREFETCH_AHEAD);
             st.step(predictor, ev);
+        }
+        if st.complete() {
+            break;
         }
     }
     st.drain(predictor);
@@ -315,6 +426,13 @@ pub trait BlockSim: Send {
 
     /// Feeds `events` through the window in order.
     fn run_block(&mut self, events: &[TraceEvent]);
+
+    /// Whether the engine's measurement window is spent — further blocks
+    /// would be fast-forwarded without effect, so the driver may stop
+    /// pulling events. Default: never (full-trace simulation).
+    fn done(&self) -> bool {
+        false
+    }
 
     /// Drains the in-flight window and assembles the final report. The
     /// engine is spent afterwards; build a fresh one per simulation.
@@ -347,9 +465,14 @@ where
     }
 
     fn run_block(&mut self, events: &[TraceEvent]) {
-        for ev in events {
+        for (i, ev) in events.iter().enumerate() {
+            prefetch_event(events, i + EVENT_PREFETCH_AHEAD);
             self.state.step(&mut self.predictor, ev);
         }
+    }
+
+    fn done(&self) -> bool {
+        self.state.complete()
     }
 
     fn finish(&mut self, trace: &str, category: &str) -> SimReport {
@@ -371,6 +494,9 @@ pub fn simulate_engine<S: EventSource>(
     let mut block = EventBlock::with_capacity(batch);
     while source.next_block(&mut block, batch) > 0 {
         engine.run_block(&block.events);
+        if engine.done() {
+            break;
+        }
     }
     engine.finish(source.name(), source.category())
 }

@@ -34,10 +34,12 @@
 pub mod core_model;
 pub mod engine;
 pub mod report;
+pub mod sampling;
 
 pub use core_model::{CoreModel, MemoryHierarchy};
 pub use engine::{
     simulate, simulate_engine, simulate_source, simulate_source_batched, simulate_suite, BlockSim,
-    PipelineConfig, WindowEngine, DEFAULT_BATCH,
+    PipelineConfig, SimWindow, WindowEngine, DEFAULT_BATCH,
 };
 pub use report::{BranchProfile, BranchStat, SimReport, SuiteReport};
+pub use sampling::{fixed_interval, Phase, SampledResult, SampleSlice};

@@ -28,6 +28,9 @@
 /// lookup, pre-digested so policies stay table-layout agnostic.
 #[derive(Clone, Copy, Debug)]
 pub struct ChooserView {
+    /// The branch's instruction address — the index for per-PC policies
+    /// (ISL-TAGE keeps several `USE_ALT_ON_NA` counters selected by PC).
+    pub pc: u64,
     /// Whether a tagged component hit (false: the base predictor provides,
     /// and `provider_pred == alt_pred`).
     pub has_provider: bool,
@@ -97,6 +100,7 @@ mod tests {
     fn trait_defaults_are_storage_free_and_inert() {
         let mut t = Toy(0);
         let view = ChooserView {
+            pc: 0x40,
             has_provider: true,
             provider_pred: true,
             alt_pred: false,

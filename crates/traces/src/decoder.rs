@@ -14,7 +14,8 @@ use workloads::event::EventSource;
 /// how well it did.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ContainerInfo {
-    /// The scheme byte from the container header.
+    /// The compression-scheme byte from the container header (feature
+    /// flags masked off).
     pub scheme_id: u8,
     /// The scheme's registry name (e.g. `"lz"`).
     pub scheme: &'static str,
@@ -24,6 +25,9 @@ pub struct ContainerInfo {
     pub raw_bytes: u64,
     /// Total on-disk payload bytes across all blocks.
     pub comp_bytes: u64,
+    /// On-disk bytes of the seekable block-index footer section, when the
+    /// container carries one (`None` for index-less files).
+    pub index_bytes: Option<u64>,
 }
 
 impl ContainerInfo {

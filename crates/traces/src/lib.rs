@@ -67,4 +67,4 @@ pub use csv::{CsvCodec, CsvReader};
 pub use decoder::{drain_checked, finish, ContainerInfo, TraceDecoder};
 pub use scheme::{BlockScheme, LzScheme, RawScheme, SCHEMES};
 pub use ttr::{TtrCodec, TtrReader};
-pub use ttr3::{Ttr3Codec, Ttr3Reader, Ttr3Summary, Ttr3Writer};
+pub use ttr3::{Ttr3Codec, Ttr3Reader, Ttr3Summary, Ttr3Writer, TTR3_INDEX_FLAG};

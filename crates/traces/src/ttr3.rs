@@ -61,6 +61,17 @@ pub const TTR3_MAGIC: &[u8; 8] = b"TAGETTR3";
 /// Trailing magic closing the fixed trailer.
 pub const TTR3_END_MAGIC: &[u8; 8] = b"TAGEEND3";
 
+/// Feature bit in the header scheme byte: the file carries a seekable
+/// block-index footer section between the frame sentinel and the branch
+/// table. The compression scheme proper lives in the low 7 bits, so
+/// pre-index readers reject flagged files loudly (unknown scheme byte)
+/// instead of misparsing them, and flagged writers stay readable by any
+/// index-aware reader even when the index is ignored.
+pub const TTR3_INDEX_FLAG: u8 = 0x80;
+
+/// Magic opening the block-index footer section.
+pub const TTR3_INDEX_MAGIC: &[u8; 8] = b"TAGEIDX3";
+
 /// Fixed trailer size: branch_count u32 + event_count u64 + table_offset
 /// u64 + end magic.
 pub const TTR3_TRAILER_LEN: u64 = 4 + 8 + 8 + 8;
@@ -141,21 +152,30 @@ pub struct Ttr3Writer<W: Write> {
     prev_index: i64,
     block_target: usize,
     summary: Ttr3Summary,
+    // `Some` when the header scheme byte carries [`TTR3_INDEX_FLAG`]:
+    // one `(frame_offset, cum_events)` pair per flushed block, emitted as
+    // the footer index section by `finish`.
+    block_index: Option<Vec<(u64, u64)>>,
 }
 
 impl<W: Write> Ttr3Writer<W> {
     /// Writes the header and prepares for streaming under the given
-    /// scheme byte.
+    /// scheme byte. OR [`TTR3_INDEX_FLAG`] into `scheme_id` to also
+    /// record the seekable block-index footer; the low 7 bits name the
+    /// compression scheme.
     ///
     /// # Errors
     ///
     /// Returns `InvalidInput` for an unregistered scheme byte or
     /// over-long name/category, plus any writer I/O error.
     pub fn new(writer: W, name: &str, category: &str, scheme_id: u8) -> io::Result<Self> {
-        let scheme = scheme::by_id(scheme_id).ok_or_else(|| {
+        let scheme = scheme::by_id(scheme_id & !TTR3_INDEX_FLAG).ok_or_else(|| {
             io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("no registered compression scheme for byte {scheme_id}"),
+                format!(
+                    "no registered compression scheme for byte {}",
+                    scheme_id & !TTR3_INDEX_FLAG
+                ),
             )
         })?;
         let mut out = CountingWriter { inner: writer, written: 0 };
@@ -173,6 +193,7 @@ impl<W: Write> Ttr3Writer<W> {
             prev_index: 0,
             block_target: DEFAULT_BLOCK_RAW,
             summary: Ttr3Summary::default(),
+            block_index: (scheme_id & TTR3_INDEX_FLAG != 0).then(Vec::new),
         })
     }
 
@@ -230,6 +251,12 @@ impl<W: Write> Ttr3Writer<W> {
         if self.block_events == 0 {
             return Ok(());
         }
+        if let Some(index) = &mut self.block_index {
+            // Absolute offset of this frame's header, and the events that
+            // precede the block (summary.events already counts this
+            // block's events).
+            index.push((self.out.written, self.summary.events - u64::from(self.block_events)));
+        }
         self.summary.peak_block_raw = self.summary.peak_block_raw.max(self.raw.len());
         let comp = self.scheme.compress(&self.raw);
         self.out.write_all(&self.block_events.to_le_bytes())?;
@@ -253,6 +280,18 @@ impl<W: Write> Ttr3Writer<W> {
     pub fn finish(mut self) -> io::Result<Ttr3Summary> {
         self.flush_block()?;
         self.out.write_all(&0u32.to_le_bytes())?;
+        if let Some(index) = &self.block_index {
+            // The index section sits between the frame sentinel and the
+            // branch table; the trailer's table_offset still names the
+            // table, so the section is located purely by the scheme-byte
+            // feature flag.
+            self.out.write_all(TTR3_INDEX_MAGIC)?;
+            self.out.write_all(&(index.len() as u32).to_le_bytes())?;
+            for (frame_offset, cum_events) in index {
+                self.out.write_all(&frame_offset.to_le_bytes())?;
+                self.out.write_all(&cum_events.to_le_bytes())?;
+            }
+        }
         let table_offset = self.out.written;
         let mut prev_pc = 0u64;
         for slot in &self.table {
@@ -302,6 +341,11 @@ pub struct Ttr3Reader<R> {
     block_left: u32,
     prev_index: i64,
     error: Option<io::Error>,
+    // `Some` when the file carries the [`TTR3_INDEX_FLAG`] footer: one
+    // `(frame_offset, cum_events)` pair per block, validated entry-by-
+    // entry against the open-time frame-chain walk — `skip` can therefore
+    // never mis-seek on a corrupt index (corruption fails at open).
+    block_index: Option<Vec<(u64, u64)>>,
 }
 
 impl<R: Read + Seek> Ttr3Reader<R> {
@@ -323,7 +367,8 @@ impl<R: Read + Seek> Ttr3Reader<R> {
         }
         let mut byte = [0u8; 1];
         reader.read_exact(&mut byte)?;
-        let scheme_id = byte[0];
+        let has_index = byte[0] & TTR3_INDEX_FLAG != 0;
+        let scheme_id = byte[0] & !TTR3_INDEX_FLAG;
         let scheme = scheme::by_id(scheme_id).ok_or_else(|| {
             bad(format!("unknown .ttr v3 compression scheme byte {scheme_id}"))
         })?;
@@ -373,7 +418,9 @@ impl<R: Read + Seek> Ttr3Reader<R> {
         }
 
         // Walk the frame chain once (headers only, payloads skipped) to
-        // validate it and collect the block/compression vitals.
+        // validate it and collect the block/compression vitals — and, as
+        // a side product, the ground-truth block offsets the footer index
+        // is checked against.
         reader.seek(SeekFrom::Start(events_start))?;
         let mut info = ContainerInfo {
             scheme_id,
@@ -381,13 +428,17 @@ impl<R: Read + Seek> Ttr3Reader<R> {
             blocks: 0,
             raw_bytes: 0,
             comp_bytes: 0,
+            index_bytes: None,
         };
         let mut frame_events = 0u64;
+        let mut walk_index: Vec<(u64, u64)> = Vec::new();
         loop {
+            let frame_offset = reader.stream_position()?;
             let (events, raw_len, comp_len) = read_frame(&mut reader)?;
             if events == 0 {
                 break;
             }
+            walk_index.push((frame_offset, frame_events));
             info.blocks += 1;
             info.raw_bytes += u64::from(raw_len);
             info.comp_bytes += u64::from(comp_len);
@@ -398,6 +449,39 @@ impl<R: Read + Seek> Ttr3Reader<R> {
             }
             reader.seek(SeekFrom::Current(i64::from(comp_len)))?;
         }
+        let block_index = if has_index {
+            // The index section sits right after the frame sentinel. It
+            // must agree with the walk exactly — a corrupt or truncated
+            // index fails the open loudly instead of mis-seeking later.
+            reader.read_exact(&mut magic)?;
+            if &magic != TTR3_INDEX_MAGIC {
+                return Err(bad("bad .ttr v3 block-index magic".to_string()));
+            }
+            reader.read_exact(&mut n32)?;
+            let count = u32::from_le_bytes(n32);
+            if u64::from(count) != info.blocks {
+                return Err(bad(format!(
+                    "block index declares {count} blocks, the frame chain holds {}",
+                    info.blocks
+                )));
+            }
+            for (i, &(frame_offset, cum_events)) in walk_index.iter().enumerate() {
+                reader.read_exact(&mut n64)?;
+                let idx_offset = u64::from_le_bytes(n64);
+                reader.read_exact(&mut n64)?;
+                let idx_events = u64::from_le_bytes(n64);
+                if (idx_offset, idx_events) != (frame_offset, cum_events) {
+                    return Err(bad(format!(
+                        "block index entry {i} ({idx_offset}, {idx_events}) disagrees with \
+                         the frame chain ({frame_offset}, {cum_events})"
+                    )));
+                }
+            }
+            info.index_bytes = Some(8 + 4 + 16 * u64::from(count));
+            Some(walk_index)
+        } else {
+            None
+        };
         if reader.stream_position()? != table_offset {
             return Err(bad("block chain does not end at the branch table".to_string()));
         }
@@ -422,6 +506,7 @@ impl<R: Read + Seek> Ttr3Reader<R> {
             block_left: 0,
             prev_index: 0,
             error: None,
+            block_index,
         })
     }
 
@@ -519,6 +604,47 @@ impl<R: Read + Seek> EventSource for Ttr3Reader<R> {
             }
         }
     }
+
+    fn skip(&mut self, n: u64) -> u64 {
+        let n = n.min(self.remaining);
+        if n == 0 || self.error.is_some() {
+            return 0;
+        }
+        let start = self.total - self.remaining;
+        let target = start + n;
+        if let Some(index) = &self.block_index {
+            // Events decoded so far sit `block_left` short of the current
+            // block's end; a target past that end is reached by seeking
+            // straight to the frame holding it (the index was validated
+            // against the frame chain at open), never by decompressing the
+            // blocks in between.
+            if target > start + u64::from(self.block_left) {
+                let i = index.partition_point(|&(_, cum)| cum <= target) - 1;
+                let (frame_offset, cum_events) = index[i];
+                match self.reader.seek(SeekFrom::Start(frame_offset)) {
+                    Ok(_) => {
+                        self.block.clear();
+                        self.block_pos = 0;
+                        self.block_left = 0;
+                        self.prev_index = 0;
+                        self.remaining = self.total - cum_events;
+                    }
+                    Err(e) => {
+                        self.error = Some(e);
+                        return 0;
+                    }
+                }
+            }
+        }
+        // Decode-discard the within-block remainder to land exactly on
+        // `target` (the whole distance, for index-less files).
+        while self.total - self.remaining < target {
+            if self.next_event().is_none() {
+                break;
+            }
+        }
+        (self.total - self.remaining) - start
+    }
 }
 
 impl<R: Read + Seek> TraceDecoder for Ttr3Reader<R> {
@@ -551,9 +677,11 @@ pub struct Ttr3Codec {
 }
 
 impl Default for Ttr3Codec {
-    /// Compression is the point of v3: default to the LZ scheme.
+    /// Compression is the point of v3: default to the LZ scheme, with the
+    /// seekable block index on (it costs 16 bytes per ~64 KiB block and
+    /// buys O(1) `skip` for sampled simulation).
     fn default() -> Self {
-        Self { scheme_id: 1 }
+        Self { scheme_id: 1 | TTR3_INDEX_FLAG }
     }
 }
 
@@ -747,5 +875,107 @@ mod tests {
         let t = by_name("CLIENT01", Scale::Tiny).unwrap().generate();
         assert!(t.events.iter().any(|e| !e.kind.is_conditional()));
         assert_eq!(decode_vec(encode_vec(&t, 1)).unwrap(), t);
+    }
+
+    fn encode_indexed(t: &Trace, block_target: usize) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = Ttr3Writer::new(&mut buf, &t.name, &t.category, 1 | TTR3_INDEX_FLAG)
+            .unwrap()
+            .with_block_target(block_target);
+        for e in &t.events {
+            w.push(e).unwrap();
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn indexed_container_round_trips_and_reports_the_index() {
+        let t = by_name("INT02", Scale::Tiny).unwrap().generate();
+        let buf = encode_indexed(&t, 256);
+        let mut r = Ttr3Reader::new(Cursor::new(buf.clone())).unwrap();
+        let info = r.container_info().unwrap();
+        // The flag is masked out of the reported scheme byte.
+        assert_eq!(info.scheme_id, 1);
+        assert_eq!(info.scheme, "lz");
+        assert!(info.blocks > 1);
+        assert_eq!(info.index_bytes, Some(8 + 4 + 16 * info.blocks));
+        let mut events = Vec::new();
+        while let Some(e) = r.next_event() {
+            events.push(e);
+        }
+        crate::decoder::finish(&r).unwrap();
+        assert_eq!(events, t.events);
+        // An index-less encoding reports None and decodes identically.
+        let plain = Ttr3Reader::new(Cursor::new(encode_vec(&t, 1))).unwrap();
+        assert_eq!(plain.container_info().unwrap().index_bytes, None);
+    }
+
+    #[test]
+    fn seek_skip_lands_exactly_where_decode_discard_does() {
+        let t = by_name("CLIENT01", Scale::Tiny).unwrap().generate();
+        let total = t.events.len() as u64;
+        let indexed = encode_indexed(&t, 200);
+        let plain = encode_vec(&t, 1);
+        // Offsets straddling block boundaries, plus the degenerate ends.
+        for n in [0, 1, 7, 50, 51, 52, total / 2, total - 1, total, total + 10] {
+            let mut seeker = Ttr3Reader::new(Cursor::new(indexed.clone())).unwrap();
+            let mut walker = Ttr3Reader::new(Cursor::new(plain.clone())).unwrap();
+            assert_eq!(seeker.skip(n), walker.skip(n), "skip count at n={n}");
+            let rest: Vec<_> = std::iter::from_fn(|| seeker.next_event()).collect();
+            let expect: Vec<_> = std::iter::from_fn(|| walker.next_event()).collect();
+            assert!(seeker.decode_error().is_none(), "decode error at n={n}");
+            assert_eq!(rest, expect, "stream mismatch after skip({n})");
+            assert_eq!(rest.len() as u64, total.saturating_sub(n.min(total)));
+        }
+        // Repeated short skips interleaved with decoding also line up.
+        let mut seeker = Ttr3Reader::new(Cursor::new(indexed)).unwrap();
+        let mut walker = Ttr3Reader::new(Cursor::new(plain)).unwrap();
+        loop {
+            assert_eq!(seeker.skip(37), walker.skip(37));
+            let (a, b) = (seeker.next_event(), walker.next_event());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(seeker.decode_error().is_none());
+    }
+
+    #[test]
+    fn corrupt_or_truncated_index_fails_at_open() {
+        let t = by_name("WS01", Scale::Tiny).unwrap().generate();
+        let good = encode_indexed(&t, 256);
+        assert!(Ttr3Reader::new(Cursor::new(good.clone())).is_ok());
+        let r = Ttr3Reader::new(Cursor::new(good.clone())).unwrap();
+        let index_bytes = r.info.index_bytes.unwrap() as usize;
+        drop(r);
+        // The index section sits right before the branch table; locate it
+        // through the trailer's table offset.
+        let table_offset = u64::from_le_bytes(
+            good[good.len() - 16..good.len() - 8].try_into().unwrap(),
+        ) as usize;
+        let index_start = table_offset - index_bytes;
+        assert_eq!(&good[index_start..index_start + 8], TTR3_INDEX_MAGIC);
+        // Flip bytes across the magic, the count, and every entry: each
+        // single-byte corruption must be rejected at open, loudly.
+        for at in index_start..table_offset {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                Ttr3Reader::new(Cursor::new(bad)).is_err(),
+                "corrupt index byte at {at} went unnoticed"
+            );
+        }
+        // A flagged header whose index section was cut out entirely (with
+        // the trailer's table offset re-pointed so the rest still lines
+        // up): the promised section is missing, so the open fails.
+        let mut gutted = Vec::new();
+        gutted.extend_from_slice(&good[..index_start]);
+        gutted.extend_from_slice(&good[table_offset..]);
+        let n = gutted.len();
+        gutted[n - 16..n - 8]
+            .copy_from_slice(&((table_offset - index_bytes) as u64).to_le_bytes());
+        assert!(Ttr3Reader::new(Cursor::new(gutted)).is_err());
     }
 }

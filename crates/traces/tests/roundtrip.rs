@@ -5,8 +5,8 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use simkit::predictor::BranchKind;
 use std::io::Cursor;
-use traces::{CbpReader, CsvReader, TraceDecoder, Ttr3Reader, TtrReader};
-use workloads::event::{Trace, TraceEvent};
+use traces::{CbpReader, CsvReader, TraceDecoder, Ttr3Reader, TtrReader, TTR3_INDEX_FLAG};
+use workloads::event::{EventSource, Trace, TraceEvent};
 
 fn kind_of(code: u8) -> BranchKind {
     match code % 5 {
@@ -240,6 +240,101 @@ proptest! {
         if let Ok(r) = Ttr3Reader::new(Cursor::new(buf)) {
             let _ = drain(r);
         }
+    }
+
+    #[test]
+    fn indexed_skip_matches_decode_discard(raw in event_strategy(), s in 0u64..250) {
+        // The O(1) index seek and the default decode-discard must land on
+        // the same position: after skipping `s`, both readers produce the
+        // same suffix (ground truth: the encoded trace itself).
+        let t = trace_of(raw.into_iter().map(|(a, b)| event(a, b, true)).collect());
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1 | TTR3_INDEX_FLAG).unwrap();
+        let mut r = Ttr3Reader::new(Cursor::new(buf)).unwrap();
+        let skipped = r.skip(s);
+        prop_assert_eq!(skipped, s.min(t.events.len() as u64));
+        let mut rest = Vec::new();
+        while let Some(e) = r.next_event() {
+            rest.push(e);
+        }
+        prop_assert!(r.decode_error().is_none());
+        prop_assert_eq!(rest.as_slice(), &t.events[skipped as usize..]);
+    }
+
+    #[test]
+    fn corrupt_index_footer_fails_loudly_never_misseeks(
+        pos in 0usize..4096, val in any::<u8>(), s in 0u64..100,
+    ) {
+        // A flipped byte at or after the `TAGEIDX3` footer (the index, the
+        // branch table, or the trailer) must either fail at open / during
+        // the stream — or leave a reader whose seek still lands exactly
+        // where decode-discard would. A silently wrong position is the one
+        // forbidden outcome.
+        let t = trace_of(
+            (0..80)
+                .map(|i| event((0x6000 + i * 16, (i % 5) as u8, i % 3 == 0), (i, 5, i % 2), true))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1 | TTR3_INDEX_FLAG).unwrap();
+        let idx = buf
+            .windows(8)
+            .position(|w| w == traces::ttr3::TTR3_INDEX_MAGIC)
+            .expect("indexed file carries the footer magic");
+        let pos = idx + pos % (buf.len() - idx);
+        let clean = buf[pos] == val;
+        buf[pos] = val;
+        if let Ok(mut fast) = Ttr3Reader::new(Cursor::new(buf.clone())) {
+            let skipped = fast.skip(s);
+            let mut via_seek = Vec::new();
+            while let Some(e) = fast.next_event() {
+                via_seek.push(e);
+            }
+            // Decode-discard over the *same* bytes (open is deterministic,
+            // so the second open must succeed too): advance one event at a
+            // time without ever touching the index.
+            let mut slow = Ttr3Reader::new(Cursor::new(buf)).unwrap();
+            let mut slow_skipped = 0u64;
+            while slow_skipped < s && slow.next_event().is_some() {
+                slow_skipped += 1;
+            }
+            let mut via_decode = Vec::new();
+            while let Some(e) = slow.next_event() {
+                via_decode.push(e);
+            }
+            if fast.decode_error().is_none() && slow.decode_error().is_none() {
+                prop_assert_eq!(skipped, slow_skipped, "flip at byte {pos}");
+                prop_assert_eq!(&via_seek, &via_decode, "seek diverged from decode-discard after flipping byte {pos}");
+            }
+            if clean {
+                // A no-op flip must behave like the pristine file.
+                prop_assert_eq!(skipped, s.min(80));
+                prop_assert!(fast.decode_error().is_none());
+                prop_assert_eq!(via_seek.as_slice(), &t.events[skipped as usize..]);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_index_footer_is_rejected_not_misseeked(cut in 1usize..300) {
+        // Truncation anywhere in an *indexed* file — index entries, the
+        // footer magic, the branch table, or the trailer — must fail at
+        // open or through `finish`, and a pre-failure `skip` must never
+        // report progress it did not make.
+        let t = trace_of(
+            (0..80)
+                .map(|i| event((0x7000 + i * 12, (i % 5) as u8, i % 2 == 0), (i, 3, 1), true))
+                .collect(),
+        );
+        let mut buf = Vec::new();
+        traces::ttr3::encode(&mut buf, &t, 1 | TTR3_INDEX_FLAG).unwrap();
+        let cut = cut.min(buf.len() - 1);
+        buf.truncate(buf.len() - cut);
+        let failed = match Ttr3Reader::new(Cursor::new(buf)) {
+            Err(_) => true,
+            Ok(r) => drain(r).is_err(),
+        };
+        prop_assert!(failed, "index-footer truncation by {cut} bytes went unnoticed");
     }
 
     #[test]
