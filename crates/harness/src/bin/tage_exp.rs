@@ -271,6 +271,7 @@ fn print_usage() {
     println!("                [--threads N] [--stream] [--list]");
     println!("                [--artifacts DIR] [--branch-stats] [--top N]");
     println!("       tage_exp system <spec...> [--scenario I|A|B|C] [--scale ...] [--threads N] [--stream]");
+    println!("                [--trace FILE]... [--batch auto|0|N]");
     println!("                [--artifacts DIR] [--branch-stats] [--top N]");
     println!("       tage_exp budgets");
     println!("       tage_exp trace <file...> [--threads N] [--batch auto|0|N]");
@@ -295,6 +296,9 @@ fn print_usage() {
     println!("  system <spec...>  simulate user-composed predictor stacks over the suite,");
     println!("                    e.g. 'tage:x-1+ium+loop' or the provider-internal ablations");
     println!("                    'tage(base=gshare,chooser=always)' (see DESIGN.md §2)");
+    println!("  --trace FILE      system mode: run the specs over external trace files");
+    println!("                    instead of the suite (repeatable; the offline twin of");
+    println!("                    a tage_serve session — served results match it exactly)");
     println!("  budgets          per-component storage budgets of the named presets");
     println!("                   (base/tagged/chooser provider sub-stage rows + side stages)");
     println!("  trace <file...>  run the predictor matrix over external trace files");
@@ -325,6 +329,8 @@ fn system_mode(args: &[String]) -> i32 {
     let mut artifacts: Option<PathBuf> = None;
     let mut branch_stats = false;
     let mut top = DEFAULT_TOP;
+    let mut trace_files: Vec<PathBuf> = Vec::new();
+    let mut batch = pipeline::DEFAULT_BATCH;
     let mut specs: Vec<PredictorSpec> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -336,6 +342,28 @@ fn system_mode(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--trace" => match it.next() {
+                Some(f) => trace_files.push(PathBuf::from(f)),
+                None => {
+                    eprintln!("--trace expects a trace file");
+                    return 2;
+                }
+            },
+            "--batch" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                batch = match v {
+                    "auto" => pipeline::DEFAULT_BATCH,
+                    _ => match v.parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            eprintln!(
+                                "--batch expects 'auto', 0 (scalar) or a block size (got '{v}')"
+                            );
+                            return 2;
+                        }
+                    },
+                };
+            }
             "--branch-stats" => branch_stats = true,
             "--top" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
@@ -403,6 +431,17 @@ fn system_mode(args: &[String]) -> i32 {
         print_usage();
         return 2;
     }
+    if !trace_files.is_empty() {
+        return system_trace_files(
+            &specs,
+            scenario,
+            &trace_files,
+            batch,
+            branch_stats,
+            artifacts.as_deref(),
+            top,
+        );
+    }
     let start = std::time::Instant::now();
     println!("# tage_exp system: scale={scale:?}, scenario {scenario}, {} spec(s)", specs.len());
     let mut opts = ExpOptions::from_env();
@@ -436,6 +475,77 @@ fn system_mode(args: &[String]) -> i32 {
         if emit_artifacts(dir, &ctx, &runs, top) != 0 {
             return 1;
         }
+    }
+    println!("# system mode done in {:.1}s", start.elapsed().as_secs_f32());
+    0
+}
+
+/// `tage_exp system --trace`: user-composed specs over external trace
+/// files instead of the synthetic suite — the offline twin of a
+/// `tage_serve` session (both funnel through
+/// [`trace_mode::run_spec_cell`]), and the bit-identity anchor for
+/// served artifacts: `--artifacts` emits exactly the bytes a session's
+/// result frame carries. Returns the process exit code.
+fn system_trace_files(
+    specs: &[PredictorSpec],
+    scenario: UpdateScenario,
+    files: &[PathBuf],
+    batch: usize,
+    branch_stats: bool,
+    artifacts: Option<&Path>,
+    top: usize,
+) -> i32 {
+    let start = std::time::Instant::now();
+    println!(
+        "# tage_exp system: {} spec(s) over {} external trace file(s), scenario {scenario}, batch {}",
+        specs.len(),
+        files.len(),
+        if batch == 0 { "scalar".to_string() } else { batch.to_string() }
+    );
+    let cfg = pipeline::PipelineConfig { branch_stats, ..pipeline::PipelineConfig::default() };
+    let mut t = Table::new(
+        &format!("SYSTEM MODE — external traces, scenario {scenario}"),
+        &["spec", "trace", "category", "MPPKI"],
+    );
+    let mut results: Vec<(String, SuiteReport)> = Vec::new();
+    for spec in specs {
+        match trace_mode::run_spec_over_files(spec, scenario, files, &cfg, batch) {
+            Ok(suite) => {
+                for r in &suite.reports {
+                    t.row(vec![
+                        spec.sim_key(),
+                        r.trace.clone(),
+                        r.category.clone(),
+                        format!("{:.1}", r.mppki()),
+                    ]);
+                }
+                results.push((spec.sim_key(), suite));
+            }
+            Err(e) => {
+                eprintln!("system --trace failed for '{}': {e}", spec.sim_key());
+                return 1;
+            }
+        }
+    }
+    t.print();
+    if let Some(dir) = artifacts {
+        // Like trace mode: no suite scheduler ran, so no scheduler
+        // block; the scale is `external`.
+        let mut wrote = 0usize;
+        for (key, suite) in &results {
+            let art = RunArtifact::from_suite(key, scenario, "external", suite, None, top);
+            match art.write_to_dir(dir) {
+                Ok(path) => {
+                    wrote += 1;
+                    println!("# artifact: {}", path.display());
+                }
+                Err(e) => {
+                    eprintln!("artifact write failed for {}: {e}", art.file_name());
+                    return 1;
+                }
+            }
+        }
+        println!("# artifacts: {wrote} file(s) in {}", dir.display());
     }
     println!("# system mode done in {:.1}s", start.elapsed().as_secs_f32());
     0

@@ -67,8 +67,12 @@ impl TraceDecoder for SpecSource {
     }
 }
 
-/// One matrix cell: a fresh spec-built predictor streamed over one
-/// source, with a post-run decode-integrity check.
+/// One simulation cell: a fresh spec-built predictor streamed over one
+/// source under `scenario`, with a post-run decode-integrity check.
+/// This is THE per-(spec × trace) recipe — the matrix runner, `tage_exp
+/// system --trace`, and a `tage_serve` session all funnel through it,
+/// which is what makes a served result bit-identical to the offline run
+/// by construction.
 ///
 /// `batch == 0` takes the scalar reference route — the pooled
 /// [`simkit::DynPredictor`] behind [`simulate_source`], dynamic dispatch
@@ -78,28 +82,58 @@ impl TraceDecoder for SpecSource {
 /// monomorphized window loop inside. Both funnel through the same
 /// per-event window step, so the reports are bit-identical (pinned by
 /// `batched_matrix_is_bit_identical_to_scalar`).
-fn run_cell(
+///
+/// # Errors
+///
+/// Returns `InvalidInput` for a spec that fails to build and the
+/// decoder's recorded error for corrupt input (a decoder that hit
+/// corrupt bytes ends its stream early; surfacing it here prevents a
+/// silently truncated run).
+pub fn run_spec_cell(
     spec: &PredictorSpec,
+    scenario: UpdateScenario,
     src: &mut Box<dyn TraceDecoder + Send>,
     cfg: &PipelineConfig,
     batch: usize,
 ) -> io::Result<pipeline::SimReport> {
+    let bad_spec =
+        |e: tage::SpecError| io::Error::new(io::ErrorKind::InvalidInput, e.to_string());
     let r = if batch == 0 {
-        // INVARIANT: MATRIX specs are compile-time constants,
-        // parse-checked by the registry tests before any trace opens.
-        let mut predictor =
-            simkit::DynPredictor::new(spec.build().expect("matrix specs are valid"));
-        simulate_source(&mut predictor, src, MATRIX_SCENARIO, cfg)
+        let mut predictor = simkit::DynPredictor::new(spec.build().map_err(bad_spec)?);
+        simulate_source(&mut predictor, src, scenario, cfg)
     } else {
-        // INVARIANT: same compile-time MATRIX specs as the scalar arm.
-        let mut engine =
-            spec.build_engine(MATRIX_SCENARIO, cfg).expect("matrix specs are valid");
+        let mut engine = spec.build_engine(scenario, cfg).map_err(bad_spec)?;
         simulate_engine(&mut *engine, src, batch)
     };
-    // A decoder that hit corrupt bytes ends its stream early; surface
-    // that as an error instead of reporting a silently truncated run.
     traces::finish(src.as_ref())?;
     Ok(r)
+}
+
+/// One spec over a set of trace files, sequentially, as a
+/// [`SuiteReport`] in file order — the offline twin of a `tage_serve`
+/// session (which runs exactly this recipe per connection). Formats are
+/// autodetected per file like [`run_files`].
+///
+/// # Errors
+///
+/// Propagates detection, open, spec-build, and decode-integrity errors
+/// (first failing file wins).
+pub fn run_spec_over_files(
+    spec: &PredictorSpec,
+    scenario: UpdateScenario,
+    files: &[PathBuf],
+    cfg: &PipelineConfig,
+    batch: usize,
+) -> io::Result<SuiteReport> {
+    let registry = CodecRegistry::standard();
+    let reports: io::Result<Vec<_>> = files
+        .iter()
+        .map(|f| {
+            let mut src = registry.open(f)?;
+            run_spec_cell(spec, scenario, &mut src, cfg, batch)
+        })
+        .collect();
+    Ok(SuiteReport::new(reports?))
 }
 
 /// Runs the full predictor matrix over `n` sources, one column per
@@ -153,8 +187,9 @@ where
                     return;
                 }
                 let (predictor, source) = (cell / n, cell % n);
-                let result = open(source)
-                    .and_then(|mut src| run_cell(&specs[predictor], &mut src, cfg, batch));
+                let result = open(source).and_then(|mut src| {
+                    run_spec_cell(&specs[predictor], MATRIX_SCENARIO, &mut src, cfg, batch)
+                });
                 // INVARIANT: slot mutexes are uncontended by construction
                 // (each cell index is claimed once); poison would mean a
                 // sibling worker already panicked — propagate it.

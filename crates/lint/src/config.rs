@@ -26,6 +26,10 @@ pub struct LintConfig {
     /// The file holding the `RunArtifact`/`TraceRow` run-artifact schema
     /// and the `ARTIFACT_SCHEMA` version constant.
     pub artifact_file: String,
+    /// The file holding the `tage.wire/1` protocol surface: the `FRAMES`
+    /// frame-type table, the `Handshake` struct, and the `WIRE_SCHEMA`
+    /// version constant — all pinned against DESIGN.md §9 by doc-sync.
+    pub wire_file: String,
     /// Sampling-surface structs pinned by doc-sync, as
     /// `(workspace-relative file, struct name)` pairs. Every field of
     /// each struct must appear backticked in the documentation files —
@@ -63,6 +67,9 @@ impl LintConfig {
                 "crates/traces/src/scheme.rs",
                 // The spec grammar: every token/stage/param must be handled by name.
                 "crates/core/src/spec.rs",
+                // The wire protocol: an unknown frame tag must become a
+                // typed error, not vanish into a wildcard.
+                "crates/serve/src/wire.rs",
             ]
             .into_iter()
             .map(str::to_string)
@@ -70,6 +77,7 @@ impl LintConfig {
             spec_file: "crates/core/src/spec.rs".to_string(),
             scheme_file: "crates/traces/src/scheme.rs".to_string(),
             artifact_file: "crates/harness/src/artifact.rs".to_string(),
+            wire_file: "crates/serve/src/wire.rs".to_string(),
             sampling_structs: [
                 ("crates/pipeline/src/engine.rs", "SimWindow"),
                 ("crates/pipeline/src/sampling.rs", "Phase"),

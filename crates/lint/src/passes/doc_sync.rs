@@ -6,16 +6,19 @@
 //! field and the `ARTIFACT_SCHEMA` version string from the run-artifact
 //! module, plus every field of the pinned sampling-surface structs
 //! (`SimWindow`, `Phase`, `SamplingBlock` — the skip/warmup/measure
-//! contract of DESIGN.md §8), and requires each to appear in at least
-//! one of the configured documentation files (DESIGN.md /
-//! EXPERIMENTS.md — the scheme-byte table lives in DESIGN.md §3b, the
-//! artifact schema table in §7; artifact and sampling fields must
-//! appear backticked, the way the schema table renders them). A new
-//! error variant, preset, compression scheme, or artifact field that
-//! ships undocumented is a finding — as is an artifact schema version
-//! bump without a doc update; so is a source file where the extraction
-//! anchors have moved (the pass reports that instead of silently
-//! passing).
+//! contract of DESIGN.md §8), plus every `FRAMES` row, every
+//! `Handshake` field, and the `WIRE_SCHEMA` version string from the
+//! `tage.wire/1` protocol module (the server contract of DESIGN.md §9),
+//! and requires each to appear in at least one of the configured
+//! documentation files (DESIGN.md / EXPERIMENTS.md — the scheme-byte
+//! table lives in DESIGN.md §3b, the artifact schema table in §7, the
+//! wire frame table in §9; artifact, sampling, and handshake fields
+//! must appear backticked, the way the schema tables render them). A
+//! new error variant, preset, compression scheme, artifact field, wire
+//! frame, or handshake knob that ships undocumented is a finding — as
+//! is an artifact or wire schema version bump without a doc update; so
+//! is a source file where the extraction anchors have moved (the pass
+//! reports that instead of silently passing).
 //!
 //! Default severity is [`Severity::Advice`]: the CI gate runs with
 //! `--deny-all`, which promotes it, while a quick local `tage_lint check`
@@ -33,7 +36,7 @@ impl Pass for DocSync {
     }
 
     fn description(&self) -> &'static str {
-        "every SpecError variant, PRESETS/SCHEMES row, RunArtifact schema field/version, and sampling-surface struct field must appear in DESIGN.md/EXPERIMENTS.md"
+        "every SpecError variant, PRESETS/SCHEMES/FRAMES row, RunArtifact and wire schema field/version, and sampling-surface struct field must appear in DESIGN.md/EXPERIMENTS.md"
     }
 
     fn default_severity(&self) -> Severity {
@@ -218,6 +221,76 @@ impl Pass for DocSync {
                             ctx.config.doc_files.join(", ")
                         ),
                     });
+                }
+            }
+        }
+        // Wire-protocol pinning: the `tage.wire/1` surface of DESIGN.md
+        // §9 — every FRAMES row, every Handshake field (backticked, same
+        // rule as the artifact schema: `spec` or `batch` unadorned would
+        // match ambient prose), and the schema version literal itself.
+        match ctx.files.iter().find(|f| f.rel_path == ctx.config.wire_file) {
+            None => out.push(Diagnostic {
+                pass: self.name(),
+                file: ctx.config.wire_file.clone(),
+                line: 0,
+                severity: sev,
+                message: "wire file not found in the walked workspace".to_string(),
+            }),
+            Some(wire) => {
+                let frames = table_names(wire, "const FRAMES");
+                if frames.is_empty() {
+                    out.push(anchor_missing(self.name(), sev, wire, "const FRAMES table"));
+                }
+                for (line, frame) in frames {
+                    if !contains_name(&docs, &frame) {
+                        out.push(Diagnostic {
+                            pass: self.name(),
+                            file: wire.rel_path.clone(),
+                            line,
+                            severity: sev,
+                            message: format!(
+                                "FRAMES row `{frame}` is documented in none of: {}",
+                                ctx.config.doc_files.join(", ")
+                            ),
+                        });
+                    }
+                }
+                let fields = struct_fields(wire, "Handshake");
+                if fields.is_empty() {
+                    out.push(anchor_missing(self.name(), sev, wire, "struct Handshake"));
+                }
+                for (line, fld) in fields {
+                    if !docs.contains(&format!("`{fld}`")) {
+                        out.push(Diagnostic {
+                            pass: self.name(),
+                            file: wire.rel_path.clone(),
+                            line,
+                            severity: sev,
+                            message: format!(
+                                "Handshake field `{fld}` is documented (backticked) in none of: {}",
+                                ctx.config.doc_files.join(", ")
+                            ),
+                        });
+                    }
+                }
+                match const_string(wire, "const WIRE_SCHEMA") {
+                    Some((line, version)) => {
+                        if !docs.contains(&version) {
+                            out.push(Diagnostic {
+                                pass: self.name(),
+                                file: wire.rel_path.clone(),
+                                line,
+                                severity: sev,
+                                message: format!(
+                                    "wire schema version `{version}` is documented in none of: {}",
+                                    ctx.config.doc_files.join(", ")
+                                ),
+                            });
+                        }
+                    }
+                    None => {
+                        out.push(anchor_missing(self.name(), sev, wire, "const WIRE_SCHEMA"));
+                    }
                 }
             }
         }

@@ -1,0 +1,23 @@
+//! Fixture wire module: a documented decoy beside each planted
+//! undocumented name, so the gate proves doc-sync spares synced rows.
+//!
+//! Plants (3 findings): the `phantom-frame` FRAMES row, the
+//! `phantom_handshake_knob` Handshake field, and the `tage.wire/99`
+//! schema version — none appear in the fixture docs. Decoys (quiet):
+//! the `hello` row and the `spec` field, both documented in the
+//! fixture DESIGN.md.
+
+#![forbid(unsafe_code)]
+
+/// Undocumented version bump: the fixture docs never mention /99.
+pub const WIRE_SCHEMA: &str = "tage.wire/99";
+
+pub const FRAMES: &[(&str, u8)] = &[
+    ("hello", 0x01),
+    ("phantom-frame", 0x7f),
+];
+
+pub struct Handshake {
+    pub spec: String,
+    pub phantom_handshake_knob: u64,
+}

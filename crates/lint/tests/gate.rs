@@ -38,7 +38,9 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
             // PhantomVariant + undocumented-preset + phantom-scheme
             // + phantom_counter artifact field + tage.run/99 version bump
             // + phantom_window_knob sampling-surface field
-            ("doc-sync", 6),
+            // + phantom-frame wire row + phantom_handshake_knob field
+            // + tage.wire/99 version bump
+            ("doc-sync", 9),
         ],
         "full report:\n{}",
         tage_lint::render_text(&report)
@@ -61,6 +63,9 @@ fn fixtures_fire_every_pass_and_spare_justified_sites() {
     assert!(has("doc-sync", "crates/harness/src/artifact.rs", "phantom_counter"));
     assert!(has("doc-sync", "crates/harness/src/artifact.rs", "tage.run/99"));
     assert!(has("doc-sync", "crates/pipeline/src/engine.rs", "phantom_window_knob"));
+    assert!(has("doc-sync", "crates/serve/src/wire.rs", "phantom-frame"));
+    assert!(has("doc-sync", "crates/serve/src/wire.rs", "phantom_handshake_knob"));
+    assert!(has("doc-sync", "crates/serve/src/wire.rs", "tage.wire/99"));
 
     // doc-sync stays advisory without --deny-all...
     assert!(report

@@ -501,6 +501,82 @@ pub fn simulate_engine<S: EventSource>(
     engine.finish(source.name(), source.category())
 }
 
+/// A resumable twin of [`simulate_engine`]: the same loop — whole
+/// [`EventBlock`]s of `batch` events, two virtual calls per block, stop
+/// on stream end or a spent window — but sliced into caller-bounded
+/// chunks so the driver can interleave other work (the prediction
+/// server emits a `Stats` frame between chunks). Because the chunking
+/// never changes block boundaries, pull order, or the stop condition,
+/// a chunked run is bit-identical to one [`simulate_engine`] call by
+/// construction (and pinned by test).
+pub struct ChunkDriver {
+    block: EventBlock,
+    batch: usize,
+    events_fed: u64,
+    done: bool,
+}
+
+impl ChunkDriver {
+    /// A fresh driver pulling blocks of `batch` events (clamped to ≥ 1,
+    /// like [`simulate_engine`]).
+    pub fn new(batch: usize) -> Self {
+        let batch = batch.max(1);
+        Self { block: EventBlock::with_capacity(batch), batch, events_fed: 0, done: false }
+    }
+
+    /// The clamped block size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Total events fed to the engine so far.
+    pub fn events_fed(&self) -> u64 {
+        self.events_fed
+    }
+
+    /// Whether the run is over: the source ended or the engine's
+    /// measurement window is spent. Further chunks feed nothing.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Feeds up to `max_blocks` blocks (clamped to ≥ 1) from `source`
+    /// into `engine`, returning the events fed by this chunk (0 once
+    /// [`ChunkDriver::is_done`]).
+    pub fn run_chunk<S: EventSource>(
+        &mut self,
+        engine: &mut dyn BlockSim,
+        source: &mut S,
+        max_blocks: usize,
+    ) -> u64 {
+        if self.done {
+            return 0;
+        }
+        let mut fed = 0u64;
+        for _ in 0..max_blocks.max(1) {
+            let n = source.next_block(&mut self.block, self.batch);
+            if n == 0 {
+                self.done = true;
+                break;
+            }
+            engine.run_block(&self.block.events);
+            fed += n as u64;
+            if engine.done() {
+                self.done = true;
+                break;
+            }
+        }
+        self.events_fed += fed;
+        fed
+    }
+
+    /// Drains the window and assembles the final report — the tail of
+    /// [`simulate_engine`]. The engine is spent afterwards.
+    pub fn finish<S: EventSource>(self, engine: &mut dyn BlockSim, source: &S) -> SimReport {
+        engine.finish(source.name(), source.category())
+    }
+}
+
 /// Runs a freshly built predictor (from `make`) over every trace of a
 /// suite, returning one report per trace.
 ///
@@ -755,6 +831,68 @@ mod tests {
                 assert_eq!(r, scalar, "engine batch {batch} diverged under {scenario}");
             }
         }
+    }
+
+    #[test]
+    fn chunked_driver_is_bit_identical_to_simulate_engine() {
+        // The server's resumable driver must reproduce one-shot
+        // `simulate_engine` exactly for any chunk granularity — same
+        // block boundaries, same stop condition — across scenarios and
+        // edge batch sizes.
+        let spec = by_name("INT02", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig::default();
+        for scenario in simkit::predictor::UpdateScenario::ALL {
+            for batch in [1usize, 97, DEFAULT_BATCH] {
+                let mut engine: Box<dyn BlockSim> =
+                    Box::new(WindowEngine::new(tage::TageSystem::isl_tage(), scenario, &cfg));
+                let whole = simulate_engine(&mut *engine, &mut spec.stream(), batch);
+                for max_blocks in [1usize, 3, usize::MAX] {
+                    let mut engine: Box<dyn BlockSim> = Box::new(WindowEngine::new(
+                        tage::TageSystem::isl_tage(),
+                        scenario,
+                        &cfg,
+                    ));
+                    let mut src = spec.stream();
+                    let mut driver = ChunkDriver::new(batch);
+                    let mut fed = 0u64;
+                    while !driver.is_done() {
+                        fed += driver.run_chunk(&mut *engine, &mut src, max_blocks);
+                    }
+                    assert_eq!(fed, driver.events_fed());
+                    let r = driver.finish(&mut *engine, &src);
+                    assert_eq!(
+                        r, whole,
+                        "chunked run (batch {batch}, max_blocks {max_blocks}) diverged under {scenario}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_driver_stops_when_the_window_is_spent() {
+        // A spent measurement window must end the chunk loop exactly
+        // like simulate_engine's `done()` break — not at stream end.
+        let spec = by_name("MM05", Scale::Tiny).unwrap();
+        let cfg = PipelineConfig {
+            window: SimWindow { skip: 0, warmup: 100, measure: 500 },
+            ..PipelineConfig::default()
+        };
+        let scenario = UpdateScenario::FetchOnly;
+        let mut engine: Box<dyn BlockSim> =
+            Box::new(WindowEngine::new(tage::TageSystem::isl_tage(), scenario, &cfg));
+        let whole = simulate_engine(&mut *engine, &mut spec.stream(), 64);
+        let mut engine: Box<dyn BlockSim> =
+            Box::new(WindowEngine::new(tage::TageSystem::isl_tage(), scenario, &cfg));
+        let mut src = spec.stream();
+        let mut driver = ChunkDriver::new(64);
+        while !driver.is_done() {
+            driver.run_chunk(&mut *engine, &mut src, 2);
+        }
+        // Stopped by the window, well short of the whole trace.
+        assert!(driver.events_fed() < spec.generate().events.len() as u64);
+        let r = driver.finish(&mut *engine, &src);
+        assert_eq!(r, whole);
     }
 
     #[test]

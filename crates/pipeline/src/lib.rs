@@ -39,7 +39,7 @@ pub mod sampling;
 pub use core_model::{CoreModel, MemoryHierarchy};
 pub use engine::{
     simulate, simulate_engine, simulate_source, simulate_source_batched, simulate_suite, BlockSim,
-    PipelineConfig, SimWindow, WindowEngine, DEFAULT_BATCH,
+    ChunkDriver, PipelineConfig, SimWindow, WindowEngine, DEFAULT_BATCH,
 };
 pub use report::{BranchProfile, BranchStat, SimReport, SuiteReport};
 pub use sampling::{fixed_interval, Phase, SampledResult, SampleSlice};

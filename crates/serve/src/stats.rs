@@ -1,0 +1,100 @@
+//! Load-bench aggregation: session latency percentiles, throughput, and
+//! the JSON summary the CI `serve-smoke` job uploads next to the
+//! `BENCH_*.json` artifacts.
+
+use harness::artifact::json_str;
+
+/// Nearest-rank percentile over an ascending-sorted slice of latencies.
+/// Index is `round((p/100) * (n-1))` — small-sample friendly (p99 of 8
+/// sessions is the max, not an extrapolation).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Aggregate result of one `manyclient` run.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    /// Sessions attempted.
+    pub sessions: usize,
+    /// Sessions that returned a result artifact.
+    pub ok: usize,
+    /// Sessions that failed (typed error or transport failure).
+    pub errors: usize,
+    /// Error-code histogram, sorted by code.
+    pub error_codes: Vec<(String, usize)>,
+    /// Sum of final `stats` event counts over successful sessions.
+    pub events_total: u64,
+    /// Wall time of the whole run (first connect → last frame), seconds.
+    pub wall_secs: f64,
+    /// `events_total / wall_secs`.
+    pub events_per_sec: f64,
+    /// Median session latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile session latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BenchSummary {
+    /// Deterministic JSON (keys in fixed order) for the CI upload.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"tage.loadbench/1\",\n");
+        s.push_str(&format!("  \"sessions\": {},\n", self.sessions));
+        s.push_str(&format!("  \"ok\": {},\n", self.ok));
+        s.push_str(&format!("  \"errors\": {},\n", self.errors));
+        s.push_str("  \"error_codes\": {");
+        for (i, (code, n)) in self.error_codes.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {}", json_str(code), n));
+        }
+        s.push_str("},\n");
+        s.push_str(&format!("  \"events_total\": {},\n", self.events_total));
+        s.push_str(&format!("  \"wall_secs\": {:.6},\n", self.wall_secs));
+        s.push_str(&format!("  \"events_per_sec\": {:.1},\n", self.events_per_sec));
+        s.push_str(&format!("  \"p50_ms\": {:.3},\n", self.p50_ms));
+        s.push_str(&format!("  \"p99_ms\": {:.3}\n", self.p99_ms));
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 5.0);
+        assert_eq!(percentile(&v, 99.0), 8.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let s = BenchSummary {
+            sessions: 8,
+            ok: 7,
+            errors: 1,
+            error_codes: vec![("panic".to_string(), 1)],
+            events_total: 123_456,
+            wall_secs: 1.5,
+            events_per_sec: 82_304.0,
+            p50_ms: 12.5,
+            p99_ms: 80.0,
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"tage.loadbench/1\""));
+        assert!(json.contains("\"error_codes\": {\"panic\": 1}"));
+        assert!(json.contains("\"events_per_sec\": 82304.0"));
+    }
+}

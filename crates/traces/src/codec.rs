@@ -83,6 +83,30 @@ pub trait TraceCodec: Send + Sync {
     /// Returns `InvalidData` for corrupt or mismatched content and any I/O
     /// error from opening or reading the file.
     fn open(&self, path: &Path) -> io::Result<Box<dyn TraceDecoder + Send>>;
+
+    /// Opens a decoder over a *non-seekable* byte stream — the network
+    /// ingestion entry point (see [`crate::feed`]). Codecs whose layout
+    /// decodes front-to-back (`.ttr` v2, CSV) override this and return
+    /// [`FeedOpen::Streaming`]; formats that need random access (`.ttr`
+    /// v3's table-at-end trailer, CBP's trailing footer) keep the default,
+    /// which hands the reader back as [`FeedOpen::NeedsSpool`] so
+    /// [`CodecRegistry::open_feed`] can spool it to disk first. The
+    /// fallback name/category play the role [`file_meta`] plays in
+    /// [`TraceCodec::open`] for codecs that do not embed metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for corrupt header bytes and any I/O error
+    /// from the reader.
+    fn open_stream(
+        &self,
+        reader: Box<dyn Read + Send>,
+        fallback_name: String,
+        fallback_category: String,
+    ) -> io::Result<crate::feed::FeedOpen> {
+        let _ = (fallback_name, fallback_category);
+        Ok(crate::feed::FeedOpen::NeedsSpool(reader))
+    }
 }
 
 /// Derives `(name, category)` from a trace file name: the name is the file

@@ -287,6 +287,21 @@ impl crate::TraceCodec for CsvCodec {
         let (name, category) = file_meta(path);
         Ok(Box::new(CsvReader::new(std::fs::File::open(path)?, name, category)?))
     }
+
+    fn open_stream(
+        &self,
+        reader: Box<dyn Read + Send>,
+        fallback_name: String,
+        fallback_category: String,
+    ) -> io::Result<crate::feed::FeedOpen> {
+        // Line-oriented text decodes off a live stream; in-file `name=` /
+        // `category=` comments still win over the fallbacks.
+        Ok(crate::feed::FeedOpen::Streaming(Box::new(CsvReader::new(
+            reader,
+            fallback_name,
+            fallback_category,
+        )?)))
+    }
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@ pub mod cbp;
 pub mod codec;
 pub mod csv;
 pub mod decoder;
+pub mod feed;
 pub mod scheme;
 pub mod ttr;
 pub mod ttr3;
@@ -65,6 +66,7 @@ pub use cbp::{CbpCodec, CbpReader};
 pub use codec::{file_meta, CodecRegistry, TraceCodec, SNIFF_LEN};
 pub use csv::{CsvCodec, CsvReader};
 pub use decoder::{drain_checked, finish, ContainerInfo, TraceDecoder};
+pub use feed::FeedOpen;
 pub use scheme::{BlockScheme, LzScheme, RawScheme, SCHEMES};
 pub use ttr::{TtrCodec, TtrReader};
 pub use ttr3::{Ttr3Codec, Ttr3Reader, Ttr3Summary, Ttr3Writer, TTR3_INDEX_FLAG};

@@ -464,6 +464,19 @@ impl crate::TraceCodec for TtrCodec {
         let f = std::fs::File::open(path)?;
         Ok(Box::new(TtrReader::new(io::BufReader::new(f))?))
     }
+
+    fn open_stream(
+        &self,
+        reader: Box<dyn Read + Send>,
+        _fallback_name: String,
+        _fallback_category: String,
+    ) -> io::Result<crate::feed::FeedOpen> {
+        // Table-first layout: v2 decodes front-to-back off a live stream
+        // (name/category come from the container, fallbacks unused).
+        Ok(crate::feed::FeedOpen::Streaming(Box::new(TtrReader::new(io::BufReader::new(
+            reader,
+        ))?)))
+    }
 }
 
 #[cfg(test)]
